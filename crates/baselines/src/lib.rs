@@ -1,0 +1,47 @@
+//! Baseline configuration searchers the paper compares against.
+//!
+//! * [`megatron`] — Megatron-LM's five global knobs (tp, dp, pp,
+//!   microbatch, recompute-all) found by grid search over Aceso's
+//!   performance model, exactly how §5 builds its strong manual baseline.
+//! * [`alpa`] — an Alpa-like two-level search: inter-op dynamic program
+//!   over operator groups × submeshes, an intra-op plan chooser with
+//!   Alpa's *simplified* cost estimator (communication only, computation
+//!   differences ignored — §5.1's analysis), model-global recomputation,
+//!   and a grid over (l, b, recomp). Includes a modelled XLA
+//!   compile/profile cost and the >64-layer compile failure (Exp#3).
+//! * [`dp`] — the pruned pure dynamic-programming search of Exp#4, which
+//!   counts every configuration it examines.
+//! * [`random`] — Aceso's loop with Heuristic-2 disabled (Exp#5).
+
+pub mod alpa;
+pub mod dp;
+pub mod megatron;
+pub mod random;
+
+pub use alpa::{AlpaError, AlpaOptions, AlpaSearch};
+pub use dp::{DpOptions, DpSearch};
+pub use megatron::{MegatronOptions, MegatronSearch};
+pub use random::random_search;
+
+use aceso_config::ParallelConfig;
+use std::time::Duration;
+
+/// Common result type of the baseline searchers.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The best configuration found.
+    pub config: ParallelConfig,
+    /// Predicted iteration time (seconds).
+    pub iteration_time: f64,
+    /// Comparison score (OOM-penalised iteration time).
+    pub score: f64,
+    /// Whether the best configuration is still predicted OOM.
+    pub oom: bool,
+    /// Number of configurations examined.
+    pub explored: usize,
+    /// Wall-clock time of the search itself.
+    pub wall_time: Duration,
+    /// Modelled total search cost in seconds (adds simulated compile /
+    /// profile overheads where the real system would pay them).
+    pub modeled_seconds: f64,
+}

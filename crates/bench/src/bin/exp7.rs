@@ -1,0 +1,81 @@
+//! Exp#7 (Figure 14): robustness to the initial configuration.
+//!
+//! The search starts from three different configurations — the default
+//! balanced one, `imbalance-op` (first stage overloaded with operators)
+//! and `imbalance-GPU` (half the devices on the first stage) — and should
+//! converge to similar quality (paper Fig. 14).
+
+use aceso_bench::harness::{aceso_opts_for, full_scale, write_csv, ExpEnv};
+use aceso_config::{balanced_init, imbalance_gpu_init, imbalance_op_init};
+use aceso_core::SearchOptions;
+use aceso_model::zoo::{gpt3, Gpt3Size};
+use aceso_util::table::Table;
+
+fn main() {
+    let (model, gpus, stages) = if full_scale() {
+        (gpt3(Gpt3Size::S6_7b), 16, 4)
+    } else {
+        (gpt3(Gpt3Size::S1_3b), 4, 4)
+    };
+    eprintln!("== {} on {gpus} GPUs, {stages} stages ==", model.name);
+    let env = ExpEnv::new(model, gpus);
+
+    let inits = [
+        (
+            "balanced",
+            balanced_init(&env.model, &env.cluster, stages).expect("balanced init"),
+        ),
+        (
+            "imbalance-op",
+            imbalance_op_init(&env.model, &env.cluster, stages).expect("imbalance-op init"),
+        ),
+        (
+            "imbalance-GPU",
+            imbalance_gpu_init(&env.model, &env.cluster, stages).expect("imbalance-gpu init"),
+        ),
+    ];
+
+    let mut summary = Table::new(
+        "Figure 14: converged estimate by initial configuration",
+        &["initial config", "init score (s)", "final best (s)"],
+    );
+    let mut csv = Table::new("", &["init", "elapsed_s", "best_score"]);
+    let mut finals = Vec::new();
+    for (label, init) in inits {
+        let opts = SearchOptions {
+            initial: Some(init.clone()),
+            ..aceso_opts_for(full_scale(), env.model.len())
+        };
+        let init_score = {
+            let pm = aceso_perf::PerfModel::new(&env.model, &env.cluster, &env.db);
+            pm.evaluate_unchecked(&init).score()
+        };
+        let r = env.run_aceso(opts).expect("search runs");
+        let final_score = r.top_configs[0].score;
+        finals.push(final_score);
+        summary.row(&[
+            label.to_string(),
+            format!("{init_score:.2}"),
+            format!("{final_score:.2}"),
+        ]);
+        for tr in &r.traces {
+            for p in &tr.convergence {
+                csv.row(&[
+                    label.to_string(),
+                    format!("{:.2}", p.elapsed),
+                    format!("{:.4}", p.best_score),
+                ]);
+            }
+        }
+    }
+    print!("{}", summary.render());
+    let best = finals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = finals.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nSpread across initial configs: {:.1}% (paper: converges to similar\n\
+         configurations from all three starting points)",
+        (worst / best - 1.0) * 100.0
+    );
+    write_csv("exp7_fig14_summary.csv", &summary);
+    write_csv("exp7_fig14_curves.csv", &csv);
+}

@@ -1,0 +1,46 @@
+//! Exp#8 (Figure 15): iteration-time prediction accuracy.
+//!
+//! Compares the analytic performance model's predicted iteration time with
+//! the runtime simulator's "actual" execution for every configuration
+//! measured in Exp#1. The paper reports 2.70% average error for GPT-3 and
+//! 7.29% for Wide-ResNet.
+
+use aceso_bench::harness::{load_exp1, write_csv};
+use aceso_util::stats;
+use aceso_util::table::Table;
+
+fn main() {
+    let Some(rows) = load_exp1() else {
+        eprintln!("results/exp1.json not found — run exp1 first");
+        std::process::exit(1);
+    };
+    let mut t = Table::new(
+        "Figure 15: predicted vs actual iteration time (s)",
+        &["model", "gpus", "system", "predicted", "actual", "error %"],
+    );
+    for r in &rows {
+        let err = (r.predicted_time - r.iteration_time).abs() / r.iteration_time * 100.0;
+        t.row(&[
+            r.model.clone(),
+            r.gpus.to_string(),
+            r.system.clone(),
+            format!("{:.2}", r.predicted_time),
+            format!("{:.2}", r.iteration_time),
+            format!("{err:.2}"),
+        ]);
+    }
+    print!("{}", t.render());
+    for family in ["gpt3", "wresnet", "t5"] {
+        let (pred, act): (Vec<f64>, Vec<f64>) = rows
+            .iter()
+            .filter(|r| r.family == family)
+            .map(|r| (r.predicted_time, r.iteration_time))
+            .unzip();
+        if pred.is_empty() {
+            continue;
+        }
+        println!("{family}: average error {:.2}%", stats::mape(&pred, &act));
+    }
+    println!("(paper: 2.70% GPT-3, 7.29% Wide-ResNet)");
+    write_csv("exp8_fig15.csv", &t);
+}

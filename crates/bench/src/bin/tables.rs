@@ -1,0 +1,60 @@
+//! Tables 3–5 (paper appendix): effective TFLOPS per GPU for GPT-3,
+//! Wide-ResNet and T5 under each system.
+//!
+//! Reads the measurements `exp1` recorded; run `exp1` first.
+
+use aceso_bench::harness::{load_exp1, write_csv, Exp1Row};
+use aceso_util::table::Table;
+
+fn family_table(rows: &[Exp1Row], family: &str, title: &str) -> Table {
+    let mut models: Vec<String> = rows
+        .iter()
+        .filter(|r| r.family == family)
+        .map(|r| r.model.clone())
+        .collect();
+    models.dedup();
+    let mut header = vec!["system".to_string()];
+    header.extend(models.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(title, &header_refs);
+    let mut systems: Vec<String> = rows
+        .iter()
+        .filter(|r| r.family == family)
+        .map(|r| r.system.clone())
+        .collect();
+    systems.sort();
+    systems.dedup();
+    for system in systems {
+        let mut cells = vec![system.clone()];
+        for model in &models {
+            let cell = rows
+                .iter()
+                .find(|r| r.family == family && &r.model == model && r.system == system)
+                .map(|r| format!("{:.2}", r.tflops))
+                .unwrap_or_else(|| "-".into());
+            cells.push(cell);
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+fn main() {
+    let Some(rows) = load_exp1() else {
+        eprintln!("results/exp1.json not found — run exp1 first");
+        std::process::exit(1);
+    };
+    for (family, title, csv) in [
+        ("gpt3", "Table 3: GPT-3 TFLOPS per GPU", "table3_gpt3.csv"),
+        (
+            "wresnet",
+            "Table 4: Wide-ResNet TFLOPS per GPU",
+            "table4_wresnet.csv",
+        ),
+        ("t5", "Table 5: T5 TFLOPS per GPU", "table5_t5.csv"),
+    ] {
+        let t = family_table(&rows, family, title);
+        println!("{}", t.render());
+        write_csv(csv, &t);
+    }
+}

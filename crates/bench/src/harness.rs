@@ -1,0 +1,220 @@
+//! Shared experiment harness.
+//!
+//! Every `exp*` binary uses this module to build (model, cluster, profile)
+//! environments, run the three searchers with consistent budgets, persist
+//! results under `results/`, and render the rows/series the paper reports.
+//!
+//! Budgets scale with the `ACESO_FULL` environment variable: unset runs a
+//! quick pass (minutes, same qualitative shapes), `ACESO_FULL=1` runs
+//! paper-scale budgets (the 200 s search budget of §5.1).
+
+use aceso_baselines::{
+    AlpaError, AlpaOptions, AlpaSearch, BaselineResult, MegatronOptions, MegatronSearch,
+};
+use aceso_cluster::ClusterSpec;
+use aceso_config::ParallelConfig;
+use aceso_core::{AcesoSearch, SearchOptions, SearchResult};
+use aceso_model::ModelGraph;
+use aceso_profile::ProfileDb;
+use aceso_runtime::{SimReport, Simulator};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Whether paper-scale budgets were requested.
+pub fn full_scale() -> bool {
+    std::env::var("ACESO_FULL").is_ok_and(|v| v == "1")
+}
+
+/// One prepared experiment environment.
+pub struct ExpEnv {
+    /// The model under test.
+    pub model: ModelGraph,
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Profiled database (built once per environment).
+    pub db: ProfileDb,
+}
+
+impl ExpEnv {
+    /// Builds the environment (profiles the model on the cluster).
+    pub fn new(model: ModelGraph, gpus: usize) -> Self {
+        let cluster = ClusterSpec::v100_gpus(gpus);
+        let db = ProfileDb::build(&model, &cluster);
+        Self { model, cluster, db }
+    }
+
+    /// Executes a configuration on the runtime simulator.
+    pub fn execute(&self, config: &ParallelConfig) -> SimReport {
+        Simulator::with_defaults(&self.model, &self.cluster, &self.db)
+            .execute(config)
+            .expect("searched configs are valid")
+    }
+
+    /// Runs the Aceso search with the scale-appropriate budget.
+    pub fn run_aceso(&self, opts: SearchOptions) -> Result<SearchResult, aceso_core::SearchError> {
+        AcesoSearch::new(&self.model, &self.cluster, &self.db, opts).run()
+    }
+
+    /// Runs the Megatron-LM grid search.
+    pub fn run_megatron(&self) -> Option<BaselineResult> {
+        MegatronSearch::new(
+            &self.model,
+            &self.cluster,
+            &self.db,
+            MegatronOptions::default(),
+        )
+        .run()
+    }
+
+    /// Runs the Alpa-like search.
+    pub fn run_alpa(&self) -> Result<BaselineResult, AlpaError> {
+        AlpaSearch::new(
+            &self.model,
+            &self.cluster,
+            &self.db,
+            alpa_opts(full_scale()),
+        )
+        .run()
+    }
+}
+
+/// Default Aceso budget for the current scale.
+pub fn aceso_opts(full: bool) -> SearchOptions {
+    aceso_opts_for(full, 0)
+}
+
+/// Budget scaled to the model's operator count: evaluation cost grows
+/// linearly with ops, so very deep models get proportionally more wall
+/// time in quick mode (full mode always uses the paper's 200 s).
+pub fn aceso_opts_for(full: bool, ops: usize) -> SearchOptions {
+    if full {
+        SearchOptions {
+            max_iterations: 10_000,
+            time_budget: Some(Duration::from_secs(200)),
+            ..SearchOptions::default()
+        }
+    } else {
+        let secs = 12 + (ops / 40) as u64;
+        SearchOptions {
+            max_iterations: 200,
+            time_budget: Some(Duration::from_secs(secs)),
+            ..SearchOptions::default()
+        }
+    }
+}
+
+/// Default Alpa grid for the current scale.
+pub fn alpa_opts(full: bool) -> AlpaOptions {
+    if full {
+        AlpaOptions::default()
+    } else {
+        AlpaOptions {
+            layer_group_counts: vec![4, 8],
+            max_microbatch: 128,
+            ..AlpaOptions::default()
+        }
+    }
+}
+
+/// The results directory (`results/` beside the workspace root).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("results dir creatable");
+    dir
+}
+
+/// Writes a CSV artifact into `results/`.
+pub fn write_csv(name: &str, table: &aceso_util::table::Table) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, table.to_csv()).expect("csv writes");
+    println!("[saved {}]", path.display());
+}
+
+/// One Exp#1 measurement row, persisted for Exp#2/8/9 and Tables 3–5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exp1Row {
+    /// Model family (`gpt3`, `t5`, `wresnet`).
+    pub family: String,
+    /// Size label, e.g. `gpt3-2.6b`.
+    pub model: String,
+    /// GPUs used.
+    pub gpus: usize,
+    /// System name (`aceso`, `megatron`, `alpa`).
+    pub system: String,
+    /// Simulated ("actual") iteration time, seconds.
+    pub iteration_time: f64,
+    /// Samples/second on the runtime simulator.
+    pub throughput: f64,
+    /// Effective TFLOPS per GPU.
+    pub tflops: f64,
+    /// Measured search wall time, seconds.
+    pub search_wall: f64,
+    /// Modelled search cost (adds compile/profile overheads), seconds.
+    pub search_modeled: f64,
+    /// Configurations explored by the search.
+    pub explored: usize,
+    /// The best configuration found.
+    pub config: ParallelConfig,
+    /// Predicted iteration time from the performance model, seconds.
+    pub predicted_time: f64,
+    /// Predicted peak memory (bytes) and measured peak memory (bytes).
+    pub predicted_mem: u64,
+    /// Measured peak memory from the simulator, bytes.
+    pub actual_mem: u64,
+}
+
+/// Persists Exp#1 rows as JSON.
+pub fn save_exp1(rows: &[Exp1Row]) {
+    let path = results_dir().join("exp1.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(rows).expect("serialises"),
+    )
+    .expect("exp1.json writes");
+    println!("[saved {}]", path.display());
+}
+
+/// Loads Exp#1 rows, if the experiment ran.
+pub fn load_exp1() -> Option<Vec<Exp1Row>> {
+    let path = results_dir().join("exp1.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// The Exp#1 (model size, GPU count) ladder from §5.1.
+pub const SIZE_GPU_LADDER: [usize; 5] = [1, 4, 8, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aceso_model::zoo::gpt3_custom;
+
+    #[test]
+    fn env_builds_and_searches() {
+        let env = ExpEnv::new(gpt3_custom("t", 2, 256, 4, 128, 1000, 16), 2);
+        let r = env
+            .run_aceso(SearchOptions {
+                max_iterations: 4,
+                parallel: false,
+                ..SearchOptions::default()
+            })
+            .expect("search runs");
+        let report = env.execute(&r.best_config);
+        assert!(report.iteration_time > 0.0);
+    }
+
+    #[test]
+    fn budgets_differ_by_scale() {
+        assert!(aceso_opts(true).max_iterations > aceso_opts(false).max_iterations);
+        assert!(alpa_opts(true).max_microbatch >= alpa_opts(false).max_microbatch);
+    }
+
+    #[test]
+    fn results_roundtrip() {
+        let dir = results_dir();
+        assert!(dir.exists());
+    }
+}

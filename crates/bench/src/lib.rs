@@ -1,0 +1,4 @@
+//! Experiment harness shared code (see the `bin/` targets for each
+//! table and figure of the paper).
+
+pub mod harness;

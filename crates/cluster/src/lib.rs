@@ -1,0 +1,16 @@
+//! Hardware model: devices, cluster topology, and collective costs.
+//!
+//! The paper's testbed is 4 nodes × 8 NVIDIA V100-32GB, NVLink inside a
+//! node and 100 Gb/s InfiniBand between nodes. This crate models exactly
+//! the quantities Aceso's performance model consumes: peak compute, memory
+//! capacity/bandwidth, and α–β costs for the collectives the parallelisms
+//! induce (all-reduce for tp/dp, all-gather for resharding, point-to-point
+//! for pipeline stage boundaries).
+
+pub mod collective;
+pub mod spec;
+pub mod topology;
+
+pub use collective::Collective;
+pub use spec::{ClusterSpec, DeviceSpec};
+pub use topology::{CommGroup, DeviceRange};

@@ -1,0 +1,148 @@
+//! Device and cluster specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Compute/memory characteristics of one accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name, e.g. `V100-32GB`.
+    pub name: String,
+    /// Peak FP16 tensor-core throughput in FLOP/s.
+    pub peak_fp16_flops: f64,
+    /// Peak FP32 throughput in FLOP/s.
+    pub peak_fp32_flops: f64,
+    /// HBM capacity in bytes.
+    pub mem_bytes: u64,
+    /// HBM bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Fixed per-kernel launch overhead in seconds.
+    pub kernel_overhead: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA V100-32GB (the paper's GPU).
+    pub fn v100() -> Self {
+        Self {
+            name: "V100-32GB".into(),
+            peak_fp16_flops: 112e12,
+            peak_fp32_flops: 15.7e12,
+            mem_bytes: 32 * (1 << 30),
+            mem_bandwidth: 900e9,
+            kernel_overhead: 8e-6,
+        }
+    }
+}
+
+/// A homogeneous multi-node GPU cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-device characteristics.
+    pub device: DeviceSpec,
+    /// Number of servers.
+    pub nodes: usize,
+    /// GPUs per server.
+    pub gpus_per_node: usize,
+    /// Effective intra-node (NVLink) bandwidth per GPU pair, bytes/s.
+    pub nvlink_bw: f64,
+    /// Inter-node (InfiniBand) bandwidth per server NIC, bytes/s.
+    pub ib_bw: f64,
+    /// Intra-node link latency, seconds.
+    pub lat_intra: f64,
+    /// Inter-node link latency, seconds.
+    pub lat_inter: f64,
+}
+
+impl ClusterSpec {
+    /// Builds the paper's testbed shape: V100s, NVLink intra-node,
+    /// 100 Gb/s InfiniBand inter-node.
+    pub fn v100(nodes: usize, gpus_per_node: usize) -> Self {
+        Self {
+            device: DeviceSpec::v100(),
+            nodes,
+            gpus_per_node,
+            nvlink_bw: 130e9,
+            ib_bw: 12.5e9,
+            lat_intra: 5e-6,
+            lat_inter: 20e-6,
+        }
+    }
+
+    /// The paper's full 32-GPU evaluation cluster (4 × 8 V100).
+    pub fn paper_testbed() -> Self {
+        Self::v100(4, 8)
+    }
+
+    /// Builds the smallest paper-style cluster holding exactly `gpus`
+    /// devices (≤ 8 per node, as in the evaluation's 1/4/8/16/32-GPU
+    /// settings). For counts that do not pack into 8-GPU nodes, the
+    /// largest divisor ≤ 8 becomes the node size.
+    pub fn v100_gpus(gpus: usize) -> Self {
+        let gpus = gpus.max(1);
+        let per_node = (1..=gpus.min(8))
+            .rev()
+            .find(|d| gpus.is_multiple_of(*d))
+            .unwrap_or(1);
+        Self::v100(gpus / per_node, per_node)
+    }
+
+    /// Total device count.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Node index that hosts a global GPU id.
+    pub fn node_of(&self, gpu: usize) -> usize {
+        gpu / self.gpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.total_gpus(), 32);
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.device.mem_bytes, 32 * (1 << 30));
+    }
+
+    #[test]
+    fn node_mapping() {
+        let c = ClusterSpec::v100(4, 8);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(7), 0);
+        assert_eq!(c.node_of(8), 1);
+        assert_eq!(c.node_of(31), 3);
+    }
+
+    #[test]
+    fn v100_gpus_builder() {
+        assert_eq!(ClusterSpec::v100_gpus(1).total_gpus(), 1);
+        assert_eq!(ClusterSpec::v100_gpus(4).total_gpus(), 4);
+        assert_eq!(ClusterSpec::v100_gpus(8).total_gpus(), 8);
+        assert_eq!(ClusterSpec::v100_gpus(16).total_gpus(), 16);
+        assert_eq!(ClusterSpec::v100_gpus(32).total_gpus(), 32);
+        assert_eq!(ClusterSpec::v100_gpus(32).nodes, 4);
+    }
+
+    #[test]
+    fn v100_gpus_exact_for_awkward_counts() {
+        for g in 1..=40 {
+            let c = ClusterSpec::v100_gpus(g);
+            assert_eq!(c.total_gpus(), g, "requested {g}");
+            assert!(c.gpus_per_node <= 8);
+        }
+        // 12 GPUs: 2 nodes × 6, not 16 GPUs.
+        let c = ClusterSpec::v100_gpus(12);
+        assert_eq!((c.nodes, c.gpus_per_node), (2, 6));
+        assert_eq!(ClusterSpec::v100_gpus(0).total_gpus(), 1);
+    }
+
+    #[test]
+    fn fp16_faster_than_fp32() {
+        let d = DeviceSpec::v100();
+        assert!(d.peak_fp16_flops > d.peak_fp32_flops);
+    }
+}

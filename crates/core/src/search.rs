@@ -1,0 +1,654 @@
+//! The Aceso search: Algorithm 1 (iterative loop) and Algorithm 2
+//! (multi-hop search), run in parallel over pipeline stage counts (§4.3).
+
+use crate::bottleneck::{ranked_bottlenecks, Bottleneck};
+use crate::finetune::fine_tune;
+use crate::primitives::{generate_with, GenOptions, Primitive};
+use crate::trace::{ConvergencePoint, IterationRecord, SearchTrace};
+use aceso_cluster::ClusterSpec;
+use aceso_config::{balanced_init, ConfigError, ParallelConfig};
+use aceso_model::ModelGraph;
+use aceso_perf::{ConfigEstimate, PerfModel};
+use aceso_profile::ProfileDb;
+use aceso_util::SplitMix64;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Tunable knobs of the search.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Maximum multi-hop depth (`MaxHops`, paper default 7).
+    pub max_hops: usize,
+    /// Iteration budget per stage count (deterministic budget).
+    pub max_iterations: usize,
+    /// Optional wall-clock budget shared by all stage counts (the paper
+    /// uses 200 s); `None` = iterations only.
+    pub time_budget: Option<Duration>,
+    /// Pipeline stage counts to search (in parallel); `None` = automatic.
+    pub stage_counts: Option<Vec<usize>>,
+    /// How many best configurations to return (paper keeps the top 5 and
+    /// picks the best in real execution).
+    pub top_k: usize,
+    /// Run the op-level fine-tuning pass (§4.2).
+    pub fine_tune: bool,
+    /// Heuristic-2 ranking; `false` = random primitive order (Exp#5
+    /// ablation).
+    pub use_heuristic2: bool,
+    /// RNG seed (only consumed when `use_heuristic2` is off).
+    pub seed: u64,
+    /// Search stage counts on parallel threads.
+    pub parallel: bool,
+    /// Backtracking breadth per hop (candidates recursed into).
+    pub branch_limit: usize,
+    /// Secondary bottlenecks attempted per iteration.
+    pub max_bottlenecks: usize,
+    /// §4.3 primitive-combination toggles (ablation knobs).
+    pub gen_options: GenOptions,
+    /// Start from this configuration instead of the balanced default
+    /// (Exp#7 robustness); forces its stage count.
+    pub initial: Option<ParallelConfig>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            max_hops: 7,
+            max_iterations: 48,
+            time_budget: None,
+            stage_counts: None,
+            top_k: 5,
+            fine_tune: true,
+            use_heuristic2: true,
+            seed: 0x000A_CE50,
+            parallel: true,
+            branch_limit: 3,
+            max_bottlenecks: 3,
+            gen_options: GenOptions::default(),
+            initial: None,
+        }
+    }
+}
+
+/// A configuration with its predicted quality.
+#[derive(Debug, Clone)]
+pub struct ScoredConfig {
+    /// The configuration.
+    pub config: ParallelConfig,
+    /// Comparison score (iteration time, OOM-penalised).
+    pub score: f64,
+    /// Predicted iteration time in seconds.
+    pub iteration_time: f64,
+    /// Whether the prediction exceeds device memory.
+    pub oom: bool,
+}
+
+/// Search failure modes.
+#[derive(Debug)]
+pub enum SearchError {
+    /// No stage count admitted a valid initial configuration.
+    NoInitialConfig(ConfigError),
+    /// The search finished without any feasible configuration.
+    NoFeasibleConfig,
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::NoInitialConfig(e) => write!(f, "no valid initial configuration: {e}"),
+            SearchError::NoFeasibleConfig => write!(f, "no feasible configuration found"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Result of a full search.
+#[derive(Debug)]
+pub struct SearchResult {
+    /// The best configuration found.
+    pub best_config: ParallelConfig,
+    /// Its predicted iteration time (seconds).
+    pub best_time: f64,
+    /// Whether even the best configuration is predicted OOM.
+    pub best_oom: bool,
+    /// The `top_k` best configurations across all stage counts.
+    pub top_configs: Vec<ScoredConfig>,
+    /// Total configurations evaluated.
+    pub explored: usize,
+    /// Wall-clock search time.
+    pub wall_time: Duration,
+    /// Per-stage-count traces.
+    pub traces: Vec<SearchTrace>,
+}
+
+/// Min-heap entry for the unexplored-configurations pool.
+struct HeapEntry {
+    score: f64,
+    tie: u64,
+    config: ParallelConfig,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.tie == other.tie
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest score.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+/// The Aceso configuration searcher.
+pub struct AcesoSearch<'a> {
+    model: &'a ModelGraph,
+    cluster: &'a ClusterSpec,
+    db: &'a ProfileDb,
+    options: SearchOptions,
+}
+
+impl<'a> AcesoSearch<'a> {
+    /// Creates a searcher.
+    pub fn new(
+        model: &'a ModelGraph,
+        cluster: &'a ClusterSpec,
+        db: &'a ProfileDb,
+        options: SearchOptions,
+    ) -> Self {
+        Self {
+            model,
+            cluster,
+            db,
+            options,
+        }
+    }
+
+    /// Stage counts to explore: every count from 1 to the device count
+    /// that admits a power-of-two split, capped at the op count, thinned
+    /// to at most 10 entries.
+    fn default_stage_counts(&self) -> Vec<usize> {
+        let gpus = self.cluster.total_gpus();
+        let max_p = gpus.min(self.model.len() / 2).max(1);
+        let mut counts: Vec<usize> = (1..=max_p.min(16)).collect();
+        if counts.len() > 10 {
+            // Keep 1–8 plus even counts beyond.
+            counts.retain(|&p| p <= 8 || p % 2 == 0);
+            counts.truncate(12);
+        }
+        counts
+    }
+
+    /// Runs the search (Algorithm 1, parallelised over stage counts).
+    pub fn run(&self) -> Result<SearchResult, SearchError> {
+        let start = Instant::now();
+        let deadline = self.options.time_budget.map(|b| start + b);
+        let counts = match (&self.options.initial, &self.options.stage_counts) {
+            (Some(init), _) => vec![init.num_stages()],
+            (None, Some(c)) => c.clone(),
+            (None, None) => self.default_stage_counts(),
+        };
+
+        let mut runs: Vec<(Vec<ScoredConfig>, SearchTrace)> = Vec::new();
+        if self.options.parallel && counts.len() > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = counts
+                    .iter()
+                    .map(|&p| scope.spawn(move |_| self.search_stage_count(p, deadline)))
+                    .collect();
+                for h in handles {
+                    if let Ok(Some(r)) = h.join() {
+                        runs.push(r);
+                    }
+                }
+            })
+            .expect("search threads do not panic");
+        } else {
+            for &p in &counts {
+                if let Some(r) = self.search_stage_count(p, deadline) {
+                    runs.push(r);
+                }
+            }
+        }
+
+        let mut all: Vec<ScoredConfig> = Vec::new();
+        let mut traces = Vec::new();
+        let mut explored = 0usize;
+        // Deterministic merge order regardless of thread completion order.
+        runs.sort_by_key(|(_, t)| t.stage_count);
+        for (configs, trace) in runs {
+            explored += trace.explored;
+            traces.push(trace);
+            all.extend(configs);
+        }
+        all.sort_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        all.truncate(self.options.top_k.max(1));
+        let best = all.first().ok_or(SearchError::NoFeasibleConfig)?.clone();
+        Ok(SearchResult {
+            best_config: best.config,
+            best_time: best.iteration_time,
+            best_oom: best.oom,
+            top_configs: all,
+            explored,
+            wall_time: start.elapsed(),
+            traces,
+        })
+    }
+
+    /// One stage-count search (Algorithm 1).
+    fn search_stage_count(
+        &self,
+        p: usize,
+        deadline: Option<Instant>,
+    ) -> Option<(Vec<ScoredConfig>, SearchTrace)> {
+        let pm = PerfModel::new(self.model, self.cluster, self.db);
+        let init = match &self.options.initial {
+            Some(c) if c.num_stages() == p => c.clone(),
+            _ => balanced_init(self.model, self.cluster, p).ok()?,
+        };
+        let start = Instant::now();
+        let mut ctx = Ctx {
+            pm,
+            opts: &self.options,
+            visited: HashSet::new(),
+            unexplored: BinaryHeap::new(),
+            explored: 0,
+            deadline,
+            rng: SplitMix64::new(self.options.seed ^ (p as u64)),
+            tie_counter: 0,
+        };
+        let mut trace = SearchTrace {
+            stage_count: p,
+            ..SearchTrace::default()
+        };
+
+        let mut config = init;
+        ctx.visited.insert(config.semantic_hash());
+        let mut best = ctx.scored(&config);
+        ctx.explored += 1;
+
+        for _iter in 0..self.options.max_iterations {
+            if ctx.expired() {
+                break;
+            }
+            let est = ctx.pm.evaluate_unchecked(&config);
+            let init_score = est.score();
+            let bottlenecks = ranked_bottlenecks(&est);
+            let mut found: Option<(ParallelConfig, usize)> = None;
+            let mut tried = 0usize;
+            for b in bottlenecks.iter().take(self.options.max_bottlenecks) {
+                tried += 1;
+                if let Some(hit) = ctx.multi_hop(&config, &est, 0, b, init_score) {
+                    found = Some(hit);
+                    break;
+                }
+            }
+            trace.iterations.push(IterationRecord {
+                bottlenecks_tried: tried,
+                hops_used: found.as_ref().map_or(0, |(_, h)| *h),
+                improved: found.is_some(),
+            });
+            match found {
+                Some((mut next, _)) => {
+                    if self.options.fine_tune {
+                        let (tuned, evals) = fine_tune(&ctx.pm, next);
+                        next = tuned;
+                        ctx.explored += evals;
+                        ctx.visited.insert(next.semantic_hash());
+                    }
+                    let scored = ctx.scored(&next);
+                    if scored.score < best.score {
+                        best = scored;
+                    }
+                    config = next;
+                }
+                None => match ctx.unexplored.pop() {
+                    Some(e) => config = e.config,
+                    None => break,
+                },
+            }
+            trace.convergence.push(ConvergencePoint {
+                elapsed: start.elapsed().as_secs_f64(),
+                explored: ctx.explored,
+                best_score: best.score,
+            });
+        }
+
+        trace.explored = ctx.explored;
+        // Return the best plus the best few unexplored leftovers as the
+        // top-k pool for this stage count.
+        let mut tops = vec![best];
+        for _ in 0..self.options.top_k {
+            match ctx.unexplored.pop() {
+                Some(e) => tops.push(ctx.scored(&e.config)),
+                None => break,
+            }
+        }
+        Some((tops, trace))
+    }
+}
+
+/// Mutable state of one stage-count search.
+struct Ctx<'a> {
+    pm: PerfModel<'a>,
+    opts: &'a SearchOptions,
+    visited: HashSet<u64>,
+    unexplored: BinaryHeap<HeapEntry>,
+    explored: usize,
+    deadline: Option<Instant>,
+    rng: SplitMix64,
+    tie_counter: u64,
+}
+
+impl Ctx<'_> {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn scored(&self, config: &ParallelConfig) -> ScoredConfig {
+        let est = self.pm.evaluate_unchecked(config);
+        ScoredConfig {
+            config: config.clone(),
+            score: est.score(),
+            iteration_time: est.iteration_time,
+            oom: est.oom(),
+        }
+    }
+
+    /// Algorithm 2: multi-hop search from `config` toward any configuration
+    /// scoring better than `init_score`. Returns the configuration and the
+    /// hop depth that reached it.
+    fn multi_hop(
+        &mut self,
+        config: &ParallelConfig,
+        est: &ConfigEstimate,
+        hop: usize,
+        bottleneck: &Bottleneck,
+        init_score: f64,
+    ) -> Option<(ParallelConfig, usize)> {
+        if hop >= self.opts.max_hops || self.expired() {
+            return None;
+        }
+        let mut resources = bottleneck.resources.clone();
+        if !self.opts.use_heuristic2 {
+            self.rng.shuffle(&mut resources);
+        }
+        for resource in resources {
+            let mut prims: Vec<Primitive> = if self.opts.gen_options.enable_zero {
+                Primitive::eligible_for_extended(resource)
+            } else {
+                Primitive::eligible_for(resource)
+            };
+            if !self.opts.use_heuristic2 {
+                self.rng.shuffle(&mut prims);
+            }
+            // Generate and score every candidate of every eligible
+            // primitive (Heuristic-2's best-performance-first needs the
+            // estimates anyway).
+            let mut pool: Vec<(f64, usize, ParallelConfig, ConfigEstimate)> = Vec::new();
+            for prim in prims {
+                for cand in generate_with(
+                    &self.pm,
+                    config,
+                    est,
+                    prim,
+                    bottleneck.stage,
+                    resource,
+                    self.opts.gen_options,
+                ) {
+                    let h = cand.config.semantic_hash();
+                    if !self.visited.insert(h) {
+                        continue;
+                    }
+                    let cest = self.pm.evaluate_unchecked(&cand.config);
+                    self.explored += 1;
+                    let score = cest.score();
+                    if score < init_score {
+                        return Some((cand.config, hop + cand.primitives_applied));
+                    }
+                    self.tie_counter += 1;
+                    self.unexplored.push(HeapEntry {
+                        score,
+                        tie: self.tie_counter,
+                        config: cand.config.clone(),
+                    });
+                    pool.push((score, cand.primitives_applied, cand.config, cest));
+                }
+            }
+            if self.opts.use_heuristic2 {
+                pool.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            } else {
+                // Fisher–Yates over indices to keep the pool order random.
+                let mut idx: Vec<usize> = (0..pool.len()).collect();
+                self.rng.shuffle(&mut idx);
+                let mut shuffled = Vec::with_capacity(pool.len());
+                for i in idx {
+                    shuffled.push(pool[i].clone());
+                }
+                pool = shuffled;
+            }
+            for (_, applied, ccfg, cest) in pool.into_iter().take(self.opts.branch_limit) {
+                let next_bottlenecks = ranked_bottlenecks(&cest);
+                if let Some(b) = next_bottlenecks.first() {
+                    if let Some(hit) = self.multi_hop(&ccfg, &cest, hop + applied, b, init_score) {
+                        return Some(hit);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aceso_model::zoo::gpt3_custom;
+
+    fn setup() -> (ModelGraph, ClusterSpec) {
+        (
+            gpt3_custom("t", 4, 512, 8, 256, 8192, 64),
+            ClusterSpec::v100(1, 4),
+        )
+    }
+
+    fn opts() -> SearchOptions {
+        SearchOptions {
+            max_iterations: 12,
+            parallel: false,
+            ..SearchOptions::default()
+        }
+    }
+
+    #[test]
+    fn search_improves_over_initial() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let search = AcesoSearch::new(&m, &c, &db, opts());
+        let result = search.run().expect("search finds a config");
+        assert!(!result.best_oom, "best config must be feasible");
+        assert!(result.explored > 10);
+        // Compare against the 2-stage balanced baseline.
+        let pm = PerfModel::new(&m, &c, &db);
+        let baseline = pm.evaluate_unchecked(&balanced_init(&m, &c, 2).expect("init"));
+        assert!(
+            result.best_time <= baseline.score(),
+            "search {} vs baseline {}",
+            result.best_time,
+            baseline.score()
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let a = AcesoSearch::new(&m, &c, &db, opts()).run().expect("a");
+        let b = AcesoSearch::new(&m, &c, &db, opts()).run().expect("b");
+        assert_eq!(a.best_config.semantic_hash(), b.best_config.semantic_hash());
+        assert_eq!(a.explored, b.explored);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let seq = AcesoSearch::new(&m, &c, &db, opts()).run().expect("seq");
+        let par = AcesoSearch::new(
+            &m,
+            &c,
+            &db,
+            SearchOptions {
+                parallel: true,
+                ..opts()
+            },
+        )
+        .run()
+        .expect("par");
+        assert_eq!(
+            seq.best_config.semantic_hash(),
+            par.best_config.semantic_hash()
+        );
+    }
+
+    #[test]
+    fn random_mode_still_finds_configs() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let r = AcesoSearch::new(
+            &m,
+            &c,
+            &db,
+            SearchOptions {
+                use_heuristic2: false,
+                seed: 7,
+                ..opts()
+            },
+        )
+        .run()
+        .expect("random search runs");
+        assert!(r.best_time > 0.0);
+    }
+
+    #[test]
+    fn custom_initial_pins_stage_count() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let init = balanced_init(&m, &c, 2).expect("init");
+        let r = AcesoSearch::new(
+            &m,
+            &c,
+            &db,
+            SearchOptions {
+                initial: Some(init),
+                ..opts()
+            },
+        )
+        .run()
+        .expect("runs");
+        assert_eq!(r.traces.len(), 1);
+        assert_eq!(r.traces[0].stage_count, 2);
+    }
+
+    #[test]
+    fn traces_record_iterations() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let r = AcesoSearch::new(&m, &c, &db, opts()).run().expect("runs");
+        let total_iters: usize = r.traces.iter().map(|t| t.iterations.len()).sum();
+        assert!(total_iters > 0);
+        assert!(r.traces.iter().any(|t| !t.convergence.is_empty()));
+    }
+
+    #[test]
+    fn heap_entry_orders_min_first() {
+        let cfg = balanced_init(
+            &gpt3_custom("t", 2, 256, 4, 128, 1000, 16),
+            &ClusterSpec::v100(1, 2),
+            1,
+        )
+        .expect("init");
+        let mut heap = BinaryHeap::new();
+        for (score, tie) in [(3.0, 1), (1.0, 2), (2.0, 3), (1.0, 4)] {
+            heap.push(HeapEntry {
+                score,
+                tie,
+                config: cfg.clone(),
+            });
+        }
+        let first = heap.pop().expect("non-empty");
+        assert_eq!(first.score, 1.0);
+        // Tie broken deterministically: lower tie id first.
+        assert_eq!(first.tie, 2);
+        assert_eq!(heap.pop().expect("second").score, 1.0);
+        assert_eq!(heap.pop().expect("third").score, 2.0);
+    }
+
+    #[test]
+    fn default_stage_counts_bounded() {
+        let (m, _) = setup();
+        for gpus in [1usize, 2, 8] {
+            let c = ClusterSpec::v100(1, gpus);
+            let db = ProfileDb::build(&m, &c);
+            let s = AcesoSearch::new(&m, &c, &db, SearchOptions::default());
+            let counts = s.default_stage_counts();
+            assert!(!counts.is_empty());
+            assert!(counts.iter().all(|&p| p >= 1 && p <= gpus.max(1)));
+            assert!(counts.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn secondary_bottleneck_limit_respected() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let r = AcesoSearch::new(
+            &m,
+            &c,
+            &db,
+            SearchOptions {
+                max_bottlenecks: 1,
+                ..opts()
+            },
+        )
+        .run()
+        .expect("runs");
+        for t in &r.traces {
+            assert!(t.iterations.iter().all(|i| i.bottlenecks_tried <= 1));
+        }
+    }
+
+    #[test]
+    fn time_budget_respected() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let r = AcesoSearch::new(
+            &m,
+            &c,
+            &db,
+            SearchOptions {
+                max_iterations: 100_000,
+                time_budget: Some(Duration::from_millis(300)),
+                parallel: false,
+                ..SearchOptions::default()
+            },
+        )
+        .run()
+        .expect("runs");
+        assert!(r.wall_time < Duration::from_secs(20));
+    }
+}

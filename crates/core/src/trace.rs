@@ -1,0 +1,154 @@
+//! Search instrumentation.
+//!
+//! Exp#5 (Fig. 11) needs the distribution of bottlenecks tried and hops
+//! used per improving iteration; Exp#5–7 (Figs. 12–14) need convergence
+//! curves (best found score over search time). The search records both
+//! here with negligible overhead.
+
+/// One search iteration's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// How many ranked bottlenecks were attempted before an improvement
+    /// was found (1 = first try — Heuristic-1 was right).
+    pub bottlenecks_tried: usize,
+    /// Multi-hop depth of the improving primitive sequence.
+    pub hops_used: usize,
+    /// Whether the iteration improved the configuration at all.
+    pub improved: bool,
+}
+
+/// A point on the convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Wall-clock seconds since the search started.
+    pub elapsed: f64,
+    /// Configurations evaluated so far.
+    pub explored: usize,
+    /// Best score (predicted iteration time, OOM-penalised) found so far.
+    pub best_score: f64,
+}
+
+/// Full trace of one stage-count search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchTrace {
+    /// Pipeline stage count this search explored.
+    pub stage_count: usize,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// Convergence curve samples (one per iteration).
+    pub convergence: Vec<ConvergencePoint>,
+    /// Total configurations evaluated.
+    pub explored: usize,
+}
+
+impl SearchTrace {
+    /// Fraction of improving iterations that succeeded on the first
+    /// bottleneck attempt (the paper reports 90%).
+    pub fn first_try_fraction(&self) -> f64 {
+        let improving: Vec<&IterationRecord> =
+            self.iterations.iter().filter(|r| r.improved).collect();
+        if improving.is_empty() {
+            return 0.0;
+        }
+        improving
+            .iter()
+            .filter(|r| r.bottlenecks_tried == 1)
+            .count() as f64
+            / improving.len() as f64
+    }
+
+    /// Fraction of improving iterations that needed more than one hop (the
+    /// paper reports 68%).
+    pub fn multi_hop_fraction(&self) -> f64 {
+        let improving: Vec<&IterationRecord> =
+            self.iterations.iter().filter(|r| r.improved).collect();
+        if improving.is_empty() {
+            return 0.0;
+        }
+        improving.iter().filter(|r| r.hops_used > 1).count() as f64 / improving.len() as f64
+    }
+
+    /// Histogram of `bottlenecks_tried` over improving iterations.
+    pub fn bottleneck_histogram(&self) -> Vec<(usize, usize)> {
+        histogram(
+            self.iterations
+                .iter()
+                .filter(|r| r.improved)
+                .map(|r| r.bottlenecks_tried),
+        )
+    }
+
+    /// Histogram of `hops_used` over improving iterations.
+    pub fn hop_histogram(&self) -> Vec<(usize, usize)> {
+        histogram(
+            self.iterations
+                .iter()
+                .filter(|r| r.improved)
+                .map(|r| r.hops_used),
+        )
+    }
+}
+
+fn histogram(values: impl Iterator<Item = usize>) -> Vec<(usize, usize)> {
+    let mut map = std::collections::BTreeMap::new();
+    for v in values {
+        *map.entry(v).or_insert(0usize) += 1;
+    }
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> SearchTrace {
+        SearchTrace {
+            stage_count: 4,
+            iterations: vec![
+                IterationRecord {
+                    bottlenecks_tried: 1,
+                    hops_used: 1,
+                    improved: true,
+                },
+                IterationRecord {
+                    bottlenecks_tried: 1,
+                    hops_used: 3,
+                    improved: true,
+                },
+                IterationRecord {
+                    bottlenecks_tried: 2,
+                    hops_used: 2,
+                    improved: true,
+                },
+                IterationRecord {
+                    bottlenecks_tried: 3,
+                    hops_used: 0,
+                    improved: false,
+                },
+            ],
+            convergence: vec![],
+            explored: 10,
+        }
+    }
+
+    #[test]
+    fn fractions_ignore_failed_iterations() {
+        let t = trace();
+        assert!((t.first_try_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.multi_hop_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histograms() {
+        let t = trace();
+        assert_eq!(t.bottleneck_histogram(), vec![(1, 2), (2, 1)]);
+        assert_eq!(t.hop_histogram(), vec![(1, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn empty_trace_fractions_are_zero() {
+        let t = SearchTrace::default();
+        assert_eq!(t.first_try_fraction(), 0.0);
+        assert_eq!(t.multi_hop_fraction(), 0.0);
+    }
+}

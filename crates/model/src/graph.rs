@@ -1,0 +1,195 @@
+//! Sequential model graph.
+
+use crate::op::Operator;
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of activations/parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Half precision (2 bytes/element), mixed-precision optimiser states.
+    Fp16,
+    /// Single precision (4 bytes/element).
+    Fp32,
+}
+
+impl Precision {
+    /// Bytes per activation/parameter element.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+
+    /// Bytes of optimiser state per parameter (Adam).
+    ///
+    /// Fp16 follows Megatron mixed precision: fp32 master copy + two fp32
+    /// moments = 12 bytes. Fp32: two fp32 moments = 8 bytes.
+    pub fn optimizer_bytes(self) -> u64 {
+        match self {
+            Precision::Fp16 => 12,
+            Precision::Fp32 => 8,
+        }
+    }
+}
+
+/// A DNN model as a sequential operator list (the representation the paper's
+/// search operates on — pipeline stages are contiguous ranges of `ops`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelGraph {
+    /// Model name, e.g. `gpt3-13b`.
+    pub name: String,
+    /// Operators in execution order.
+    pub ops: Vec<Operator>,
+    /// Global (aggregated) mini-batch size per training iteration.
+    pub global_batch: usize,
+    /// Numeric precision.
+    pub precision: Precision,
+}
+
+/// Error returned by [`ModelGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The operator list is empty.
+    Empty,
+    /// An operator has no partition specs.
+    NoPartitions(String),
+    /// Two operators share a name.
+    DuplicateName(String),
+    /// The global batch is zero.
+    ZeroBatch,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Empty => write!(f, "model has no operators"),
+            ModelError::NoPartitions(n) => write!(f, "operator `{n}` has no partition specs"),
+            ModelError::DuplicateName(n) => write!(f, "duplicate operator name `{n}`"),
+            ModelError::ZeroBatch => write!(f, "global batch size is zero"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelGraph {
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total parameter elements.
+    pub fn total_params(&self) -> u64 {
+        self.ops.iter().map(|o| o.params).sum()
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops).sum()
+    }
+
+    /// Model FLOPs per training iteration (fwd + 2× bwd, whole batch),
+    /// excluding recomputation — the paper's "effective" FLOP count.
+    pub fn iteration_flops(&self) -> f64 {
+        3.0 * self.total_flops() * self.global_batch as f64
+    }
+
+    /// Checks structural invariants.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.ops.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        if self.global_batch == 0 {
+            return Err(ModelError::ZeroBatch);
+        }
+        let mut names = std::collections::HashSet::new();
+        for op in &self.ops {
+            if op.partitions.is_empty() {
+                return Err(ModelError::NoPartitions(op.name.clone()));
+            }
+            if !names.insert(op.name.as_str()) {
+                return Err(ModelError::DuplicateName(op.name.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, PartitionSpec};
+
+    fn tiny() -> ModelGraph {
+        let mk = |name: &str| Operator {
+            name: name.into(),
+            kind: OpKind::MatMul,
+            flops: 100.0,
+            params: 10,
+            input_elems: 4,
+            output_elems: 4,
+            stash_elems: 4,
+            tp_limit: 4,
+            partitions: vec![PartitionSpec::replicated()],
+        };
+        ModelGraph {
+            name: "tiny".into(),
+            ops: vec![mk("a"), mk("b")],
+            global_batch: 8,
+            precision: Precision::Fp16,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let m = tiny();
+        assert_eq!(m.total_params(), 20);
+        assert!((m.total_flops() - 200.0).abs() < 1e-9);
+        assert!((m.iteration_flops() - 3.0 * 200.0 * 8.0).abs() < 1e-9);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_duplicate() {
+        let mut m = tiny();
+        m.ops[1].name = "a".into();
+        assert_eq!(m.validate(), Err(ModelError::DuplicateName("a".into())));
+    }
+
+    #[test]
+    fn validate_empty_and_zero_batch() {
+        let mut m = tiny();
+        m.ops.clear();
+        assert_eq!(m.validate(), Err(ModelError::Empty));
+        let mut m = tiny();
+        m.global_batch = 0;
+        assert_eq!(m.validate(), Err(ModelError::ZeroBatch));
+    }
+
+    #[test]
+    fn validate_no_partitions() {
+        let mut m = tiny();
+        m.ops[0].partitions.clear();
+        assert!(matches!(m.validate(), Err(ModelError::NoPartitions(_))));
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Fp16.optimizer_bytes(), 12);
+        assert_eq!(Precision::Fp32.optimizer_bytes(), 8);
+    }
+}

@@ -1,0 +1,20 @@
+//! Operator-level DNN model IR and the paper's model zoo.
+//!
+//! Aceso operates on a *sequential* list of operators (pipeline stages are
+//! contiguous ranges of this list, as in the paper). Each [`Operator`]
+//! carries the per-sample quantities the performance model needs — forward
+//! FLOPs, parameter elements, activation sizes — plus the tensor-parallel
+//! [`PartitionSpec`]s it supports (row/column for matmuls, in/out-channel
+//! for convolutions, head/vocab sharding, or replication).
+//!
+//! The zoo builds the paper's Table 2 models: GPT-3 (0.35B–13B), T5
+//! (0.77B–22B), Wide-ResNet (0.5B–13B), and the DeepNet-style deep stacks
+//! used in the 1K-layer scalability experiment (Exp#3).
+
+pub mod graph;
+pub mod op;
+pub mod space;
+pub mod zoo;
+
+pub use graph::{ModelGraph, Precision};
+pub use op::{Layout, OpKind, Operator, PartitionDim, PartitionSpec, Scaling};

@@ -1,0 +1,246 @@
+//! Operator definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad operator class; determines whether an operator is compute-bound
+/// (matmul-like) or memory-bandwidth-bound (elementwise/normalisation) in
+/// the simulated profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Token/vocab embedding lookup + positional add.
+    Embedding,
+    /// Layer normalisation (bandwidth-bound, usually replicated under tp).
+    LayerNorm,
+    /// Dense matrix multiplication (linear layer).
+    MatMul,
+    /// Attention core: `softmax(QKᵀ)·V`, sharded by heads under tp.
+    Attention,
+    /// Elementwise activation (GeLU/ReLU), bandwidth-bound.
+    Activation,
+    /// 2-D convolution.
+    Conv2d,
+    /// BatchNorm + ReLU fused block (bandwidth-bound).
+    NormAct,
+    /// Spatial pooling.
+    Pool,
+    /// Final loss computation (softmax + cross-entropy or similar).
+    Loss,
+}
+
+impl OpKind {
+    /// Whether the simulated profiler treats this kind as compute-bound.
+    pub fn compute_bound(self) -> bool {
+        matches!(self, OpKind::MatMul | OpKind::Attention | OpKind::Conv2d)
+    }
+}
+
+/// Tensor-parallel partitioning dimension of one [`PartitionSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionDim {
+    /// Weight split along rows (input dimension); forward all-reduce.
+    Row,
+    /// Weight split along columns (output dimension); backward all-reduce.
+    Column,
+    /// Sharded by attention heads (no collective inside the op).
+    Head,
+    /// Vocabulary-parallel embedding/classifier.
+    Vocab,
+    /// Convolution split along input channels; forward all-reduce.
+    InChannel,
+    /// Convolution split along output channels; backward all-reduce.
+    OutChannel,
+    /// Elementwise operator applied to an already-sharded tensor
+    /// (activation functions, fused norm blocks between sharded matmuls).
+    Elementwise,
+    /// Not partitioned: every tp rank computes the full operator.
+    Replicated,
+}
+
+/// How the operator's work and state scale with the tensor-parallel degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scaling {
+    /// FLOPs, parameters and stash divide by `tp`.
+    Divided,
+    /// Every rank holds/computes the full operator (e.g. LayerNorm).
+    Replicated,
+}
+
+/// Logical layout of an activation tensor at an operator boundary, relative
+/// to the tensor-parallel group.
+///
+/// The performance model charges a resharding collective when a producer's
+/// output layout (at its tp degree) does not match the consumer's expected
+/// input layout — this is what makes in-stage tp/dp changes (§4.2) cost
+/// something, exactly like the all-gather the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Replicated full tensor on every rank of the group.
+    Full,
+    /// Sharded along the hidden/channel dimension across the group.
+    Sharded,
+}
+
+/// One way an operator may be tensor-parallelised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// The partition dimension.
+    pub dim: PartitionDim,
+    /// Work/state scaling under this partitioning.
+    pub scaling: Scaling,
+    /// Layout the operator expects its input in.
+    pub input_layout: Layout,
+    /// Layout the operator produces its output in (after any forward
+    /// collective included in `fwd_comm_elems`).
+    pub output_layout: Layout,
+    /// Elements all-reduced across the tp group during forward, per sample.
+    pub fwd_comm_elems: u64,
+    /// Elements all-reduced across the tp group during backward, per sample.
+    pub bwd_comm_elems: u64,
+    /// Relative kernel efficiency of this layout in `(0, 1]`.
+    pub efficiency: f64,
+}
+
+impl PartitionSpec {
+    /// A replicated (non-partitioned) spec with full layouts and no comm.
+    pub fn replicated() -> Self {
+        Self {
+            dim: PartitionDim::Replicated,
+            scaling: Scaling::Replicated,
+            input_layout: Layout::Full,
+            output_layout: Layout::Full,
+            fwd_comm_elems: 0,
+            bwd_comm_elems: 0,
+            efficiency: 1.0,
+        }
+    }
+}
+
+/// One operator of a sequential model.
+///
+/// All tensor quantities are *per sample* (one element of the mini-batch);
+/// the performance model scales them by the per-device microbatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Human-readable name, unique within the model (e.g. `layer17.fc1`).
+    pub name: String,
+    /// Operator class.
+    pub kind: OpKind,
+    /// Forward FLOPs per sample (backward is modelled as 2×).
+    pub flops: f64,
+    /// Parameter elements (weights + biases).
+    pub params: u64,
+    /// Input activation elements per sample.
+    pub input_elems: u64,
+    /// Output activation elements per sample.
+    pub output_elems: u64,
+    /// Activation elements that must be stashed for the backward pass per
+    /// sample (inputs plus any intermediates), when *not* recomputed.
+    pub stash_elems: u64,
+    /// Maximum tensor-parallel degree this operator supports (divisibility
+    /// of heads/channels/hidden).
+    pub tp_limit: u32,
+    /// Supported partitionings; index 0 is the default (Megatron-style)
+    /// choice, later entries are alternatives for the fine-tuning pass.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl Operator {
+    /// Returns the partition spec at `dim_index`, clamped to the available
+    /// range (so a stale index degrades gracefully instead of panicking).
+    pub fn partition(&self, dim_index: usize) -> &PartitionSpec {
+        let i = dim_index.min(self.partitions.len().saturating_sub(1));
+        &self.partitions[i]
+    }
+
+    /// Bytes of one parameter element under `precision`-style accounting is
+    /// left to the caller; this returns raw parameter elements shared by a
+    /// tp group member (i.e. `params / tp` for divided scaling).
+    pub fn params_per_rank(&self, dim_index: usize, tp: u32) -> u64 {
+        match self.partition(dim_index).scaling {
+            Scaling::Divided => self.params / u64::from(tp.max(1)),
+            Scaling::Replicated => self.params,
+        }
+    }
+
+    /// Stash elements held by one tp rank per sample.
+    pub fn stash_per_rank(&self, dim_index: usize, tp: u32) -> u64 {
+        match self.partition(dim_index).scaling {
+            Scaling::Divided => self.stash_elems / u64::from(tp.max(1)),
+            Scaling::Replicated => self.stash_elems,
+        }
+    }
+
+    /// Forward FLOPs executed by one tp rank per sample.
+    pub fn flops_per_rank(&self, dim_index: usize, tp: u32) -> f64 {
+        match self.partition(dim_index).scaling {
+            Scaling::Divided => self.flops / f64::from(tp.max(1)),
+            Scaling::Replicated => self.flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> Operator {
+        Operator {
+            name: "t".into(),
+            kind: OpKind::MatMul,
+            flops: 1000.0,
+            params: 400,
+            input_elems: 10,
+            output_elems: 20,
+            stash_elems: 10,
+            tp_limit: 8,
+            partitions: vec![
+                PartitionSpec {
+                    dim: PartitionDim::Column,
+                    scaling: Scaling::Divided,
+                    input_layout: Layout::Full,
+                    output_layout: Layout::Sharded,
+                    fwd_comm_elems: 0,
+                    bwd_comm_elems: 10,
+                    efficiency: 1.0,
+                },
+                PartitionSpec::replicated(),
+            ],
+        }
+    }
+
+    #[test]
+    fn divided_scaling() {
+        let o = op();
+        assert_eq!(o.params_per_rank(0, 4), 100);
+        assert_eq!(o.stash_per_rank(0, 4), 2);
+        assert!((o.flops_per_rank(0, 4) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replicated_scaling() {
+        let o = op();
+        assert_eq!(o.params_per_rank(1, 4), 400);
+        assert_eq!(o.stash_per_rank(1, 4), 10);
+        assert!((o.flops_per_rank(1, 4) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_index_clamps() {
+        let o = op();
+        assert_eq!(o.partition(99).dim, PartitionDim::Replicated);
+    }
+
+    #[test]
+    fn tp_zero_treated_as_one() {
+        let o = op();
+        assert_eq!(o.params_per_rank(0, 0), 400);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(OpKind::MatMul.compute_bound());
+        assert!(OpKind::Conv2d.compute_bound());
+        assert!(!OpKind::LayerNorm.compute_bound());
+        assert!(!OpKind::Loss.compute_bound());
+    }
+}

@@ -1,0 +1,135 @@
+//! Configuration-space cardinality counting (paper Figure 1).
+//!
+//! Figure 1 plots how the number of possible parallel configurations of a
+//! GPT model on 16 devices explodes with the number of layers and the
+//! number of mechanisms considered:
+//!
+//! * 2 mechanisms — data + tensor parallelism: each layer independently
+//!   picks a `(dp, tp)` factorisation of the device count.
+//! * 3 mechanisms — adds pipeline parallelism: layers are additionally
+//!   partitioned into contiguous stages and devices are distributed over
+//!   the stages.
+//! * 4 mechanisms — adds recomputation: a per-layer on/off flag.
+//!
+//! Counts overflow `u64` almost immediately, so everything is computed in
+//! log10 space.
+
+/// Number of `(dp, tp)` factorisations of `devices` with both factors
+/// powers of two (the paper's §5.1 restriction).
+pub fn dp_tp_choices(devices: u64) -> u64 {
+    if devices == 0 || !devices.is_power_of_two() {
+        return 0;
+    }
+    devices.trailing_zeros() as u64 + 1
+}
+
+/// log10 of `n!`, via the log-gamma-free direct sum (exact enough here).
+fn log10_factorial(n: u64) -> f64 {
+    (2..=n).map(|k| (k as f64).log10()).sum()
+}
+
+/// log10 of the binomial coefficient `C(n, k)`.
+pub fn log10_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    log10_factorial(n) - log10_factorial(k) - log10_factorial(n - k)
+}
+
+/// log10 of the number of configurations with data + tensor parallelism
+/// only (2 mechanisms).
+pub fn log10_configs_2mech(layers: u64, devices: u64) -> f64 {
+    layers as f64 * (dp_tp_choices(devices) as f64).log10()
+}
+
+/// log10 of the number of configurations with data, tensor and pipeline
+/// parallelism (3 mechanisms).
+///
+/// Sums over the stage count `p`: `C(layers-1, p-1)` contiguous layer
+/// partitions × the number of ways to write `devices` as an ordered product
+/// of `p` power-of-two stage sizes ≥ 1 (i.e. compositions of the exponent)
+/// × per-stage `(dp, tp)` choices.
+pub fn log10_configs_3mech(layers: u64, devices: u64) -> f64 {
+    let e = devices.trailing_zeros() as u64; // devices = 2^e
+    let mut total_log = f64::NEG_INFINITY;
+    for p in 1..=layers.min(devices) {
+        // Ordered power-of-two device splits: compositions of `e` into `p`
+        // non-negative parts = C(e + p - 1, p - 1).
+        let split_log = log10_binomial(e + p - 1, p - 1);
+        let partition_log = log10_binomial(layers - 1, p - 1);
+        // Each layer still picks its own (dp, tp) inside its stage; a stage
+        // holds 2^(e/p) devices on average, giving e/p + 1 choices per layer.
+        let per_layer_choices = ((e as f64 / p as f64) + 1.0).log10() * layers as f64;
+        let term = split_log + partition_log + per_layer_choices;
+        total_log = log10_add(total_log, term);
+    }
+    total_log
+}
+
+/// log10 of the 4-mechanism count (adds a per-layer recompute bit).
+pub fn log10_configs_4mech(layers: u64, devices: u64) -> f64 {
+    log10_configs_3mech(layers, devices) + layers as f64 * 2f64.log10()
+}
+
+/// `log10(10^a + 10^b)` without overflow.
+fn log10_add(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    hi + (1.0 + 10f64.powf(lo - hi)).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_tp_choices_powers_of_two() {
+        assert_eq!(dp_tp_choices(1), 1);
+        assert_eq!(dp_tp_choices(16), 5);
+        assert_eq!(dp_tp_choices(12), 0);
+        assert_eq!(dp_tp_choices(0), 0);
+    }
+
+    #[test]
+    fn binomial_known_values() {
+        assert!((log10_binomial(5, 2) - 1.0).abs() < 1e-9); // C(5,2)=10
+        assert_eq!(log10_binomial(3, 5), f64::NEG_INFINITY);
+        assert!((log10_binomial(4, 0)).abs() < 1e-12); // C(4,0)=1
+    }
+
+    #[test]
+    fn counts_grow_with_layers() {
+        let a = log10_configs_2mech(8, 16);
+        let b = log10_configs_2mech(32, 16);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn counts_grow_with_mechanisms() {
+        for layers in [4u64, 8, 16, 32] {
+            let two = log10_configs_2mech(layers, 16);
+            let three = log10_configs_3mech(layers, 16);
+            let four = log10_configs_4mech(layers, 16);
+            assert!(three > two, "layers={layers}");
+            assert!(four > three, "layers={layers}");
+        }
+    }
+
+    #[test]
+    fn figure1_magnitude() {
+        // Figure 1 shows ≳10^20 configurations for a few dozen layers with
+        // 4 mechanisms; verify we reach that magnitude.
+        assert!(log10_configs_4mech(32, 16) > 20.0);
+    }
+
+    #[test]
+    fn log10_add_basic() {
+        assert!((log10_add(1.0, 1.0) - (20f64).log10()).abs() < 1e-12);
+        assert_eq!(log10_add(f64::NEG_INFINITY, 3.0), 3.0);
+    }
+}

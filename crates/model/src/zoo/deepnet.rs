@@ -1,0 +1,44 @@
+//! DeepNet-style very deep transformers for the 1K-layer scalability
+//! experiment (Exp#3, Fig. 9).
+//!
+//! Hyper-parameters follow the DeepNet setting the paper cites (narrow
+//! hidden size, many layers) scaled to fit the experiment's 8-GPU testbed:
+//! hidden 1024, 16 heads, sequence 1024, global batch 256.
+
+use super::gpt3::gpt3_custom;
+use crate::graph::ModelGraph;
+
+/// Builds a DeepNet-style stack with `layers` transformer layers.
+pub fn deepnet(layers: usize) -> ModelGraph {
+    gpt3_custom(
+        &format!("deepnet-{layers}l"),
+        layers,
+        1024,
+        16,
+        1024,
+        51200,
+        256,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_1000_layers() {
+        let m = deepnet(1000);
+        assert_eq!(m.len(), 1000 * 8 + 4);
+        assert!(m.validate().is_ok());
+        // ≈ 12·L·h² params.
+        let billions = m.total_params() as f64 / 1e9;
+        assert!(billions > 10.0 && billions < 15.0, "got {billions}B");
+    }
+
+    #[test]
+    fn small_variant() {
+        let m = deepnet(8);
+        assert_eq!(m.len(), 8 * 8 + 4);
+        assert_eq!(m.global_batch, 256);
+    }
+}

@@ -1,0 +1,158 @@
+//! GPT-3 model family (paper Table 2: 0.35B, 1.3B, 2.6B, 6.7B, 13B).
+
+use super::transformer::{self, TransformerDims};
+use crate::graph::{ModelGraph, Precision};
+use crate::op::Operator;
+
+/// GPT-3 variants used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gpt3Size {
+    /// 0.35 B parameters (24 layers, hidden 1024).
+    S0_35b,
+    /// 1.3 B parameters (24 layers, hidden 2048).
+    S1_3b,
+    /// 2.6 B parameters (32 layers, hidden 2560).
+    S2_6b,
+    /// 6.7 B parameters (32 layers, hidden 4096).
+    S6_7b,
+    /// 13 B parameters (40 layers, hidden 5120).
+    S13b,
+}
+
+impl Gpt3Size {
+    /// All sizes in paper order.
+    pub const ALL: [Gpt3Size; 5] = [
+        Gpt3Size::S0_35b,
+        Gpt3Size::S1_3b,
+        Gpt3Size::S2_6b,
+        Gpt3Size::S6_7b,
+        Gpt3Size::S13b,
+    ];
+
+    /// (layers, hidden, heads) per the GPT-3 paper's architecture table.
+    pub fn dims(self) -> (usize, u64, u32) {
+        match self {
+            Gpt3Size::S0_35b => (24, 1024, 16),
+            Gpt3Size::S1_3b => (24, 2048, 32),
+            Gpt3Size::S2_6b => (32, 2560, 32),
+            Gpt3Size::S6_7b => (32, 4096, 32),
+            Gpt3Size::S13b => (40, 5120, 40),
+        }
+    }
+
+    /// Nominal parameter count in billions (paper Table 2).
+    pub fn nominal_billions(self) -> f64 {
+        match self {
+            Gpt3Size::S0_35b => 0.35,
+            Gpt3Size::S1_3b => 1.3,
+            Gpt3Size::S2_6b => 2.6,
+            Gpt3Size::S6_7b => 6.7,
+            Gpt3Size::S13b => 13.0,
+        }
+    }
+
+    /// Short display name (e.g. `gpt3-1.3b`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gpt3Size::S0_35b => "gpt3-0.35b",
+            Gpt3Size::S1_3b => "gpt3-1.3b",
+            Gpt3Size::S2_6b => "gpt3-2.6b",
+            Gpt3Size::S6_7b => "gpt3-6.7b",
+            Gpt3Size::S13b => "gpt3-13b",
+        }
+    }
+}
+
+/// Builds a GPT-3 model with the paper's batch size (1024) and sequence
+/// length (2048), FP16.
+///
+/// # Examples
+///
+/// ```
+/// use aceso_model::zoo::{gpt3, Gpt3Size};
+///
+/// let m = gpt3(Gpt3Size::S2_6b);
+/// assert_eq!(m.len(), 32 * 8 + 4); // 32 layers × 8 ops + embed/ln/head/loss
+/// assert!(m.total_params() > 2_500_000_000);
+/// ```
+pub fn gpt3(size: Gpt3Size) -> ModelGraph {
+    let (layers, hidden, heads) = size.dims();
+    gpt3_custom(size.name(), layers, hidden, heads, 2048, 51200, 1024)
+}
+
+/// Builds a GPT-style decoder stack with explicit hyper-parameters.
+pub fn gpt3_custom(
+    name: &str,
+    layers: usize,
+    hidden: u64,
+    heads: u32,
+    seq: u64,
+    vocab: u64,
+    global_batch: usize,
+) -> ModelGraph {
+    let d = TransformerDims {
+        hidden,
+        heads,
+        ffn: 4 * hidden,
+        vocab,
+    };
+    let mut ops: Vec<Operator> = Vec::with_capacity(layers * 8 + 4);
+    ops.push(transformer::embedding("embed".into(), &d, seq));
+    for l in 0..layers {
+        transformer::push_layer(&mut ops, &format!("layer{l}"), &d, seq);
+    }
+    ops.push(transformer::layer_norm("final_ln".into(), &d, seq));
+    ops.push(transformer::lm_head("lm_head".into(), &d, seq));
+    ops.push(transformer::ce_loss("loss".into(), &d, seq));
+    ModelGraph {
+        name: name.into(),
+        ops,
+        global_batch,
+        precision: Precision::Fp16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_match_nominal() {
+        for size in Gpt3Size::ALL {
+            let m = gpt3(size);
+            let billions = m.total_params() as f64 / 1e9;
+            let nominal = size.nominal_billions();
+            // Embedding/head/bias bookkeeping differs between papers; allow
+            // a generous band but require the right magnitude.
+            assert!(
+                (billions / nominal) > 0.75 && (billions / nominal) < 1.35,
+                "{}: built {billions:.2}B vs nominal {nominal}B",
+                size.name()
+            );
+        }
+    }
+
+    #[test]
+    fn op_count_scales_with_layers() {
+        let m = gpt3(Gpt3Size::S13b);
+        assert_eq!(m.len(), 40 * 8 + 4);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn homogeneous_middle_layers() {
+        let m = gpt3(Gpt3Size::S1_3b);
+        // All per-layer qkv ops are identical in cost (homogeneous model).
+        let qkv: Vec<&crate::op::Operator> =
+            m.ops.iter().filter(|o| o.name.ends_with(".qkv")).collect();
+        assert_eq!(qkv.len(), 24);
+        assert!(qkv.windows(2).all(|w| w[0].flops == w[1].flops));
+    }
+
+    #[test]
+    fn custom_builder_respects_args() {
+        let m = gpt3_custom("t", 2, 256, 4, 128, 1000, 16);
+        assert_eq!(m.global_batch, 16);
+        assert_eq!(m.len(), 2 * 8 + 4);
+    }
+}

@@ -1,0 +1,16 @@
+//! Model zoo: builders for the paper's Table 2 benchmark models.
+//!
+//! All builders produce operator-level [`crate::ModelGraph`]s whose total
+//! parameter counts land on the sizes the paper reports (verified by the
+//! tests in each submodule).
+
+mod deepnet;
+mod gpt3;
+mod t5;
+mod transformer;
+mod wide_resnet;
+
+pub use deepnet::deepnet;
+pub use gpt3::{gpt3, gpt3_custom, Gpt3Size};
+pub use t5::{t5, t5_custom, T5Size};
+pub use wide_resnet::{wide_resnet, wide_resnet_custom, WideResnetSize};

@@ -1,0 +1,349 @@
+//! Shared transformer building blocks (GPT-3, T5, DeepNet-style stacks).
+//!
+//! Partitioning follows Megatron-LM's assignment: QKV and the first MLP
+//! matmul are column-parallel (no forward collective, backward all-reduce of
+//! the input gradient), the output projection and second MLP matmul are
+//! row-parallel (forward all-reduce), the attention core is head-sharded,
+//! and LayerNorms are replicated. Each matmul also carries the *other*
+//! partition dimension as an alternative for the fine-tuning pass (§4.2).
+
+use crate::op::{Layout, OpKind, Operator, PartitionDim, PartitionSpec, Scaling};
+
+/// Hyper-parameters of one transformer stack.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerDims {
+    /// Hidden size.
+    pub hidden: u64,
+    /// Attention heads (also the tp limit of the attention core).
+    pub heads: u32,
+    /// Feed-forward inner size (usually `4 * hidden`).
+    pub ffn: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+}
+
+/// Column-parallel spec: full input, sharded output; backward all-reduces
+/// the input gradient.
+fn col(input_elems: u64, eff: f64) -> PartitionSpec {
+    PartitionSpec {
+        dim: PartitionDim::Column,
+        scaling: Scaling::Divided,
+        input_layout: Layout::Full,
+        output_layout: Layout::Sharded,
+        fwd_comm_elems: 0,
+        bwd_comm_elems: input_elems,
+        efficiency: eff,
+    }
+}
+
+/// Row-parallel spec: sharded input, full output after a forward all-reduce.
+fn row(output_elems: u64, eff: f64) -> PartitionSpec {
+    PartitionSpec {
+        dim: PartitionDim::Row,
+        scaling: Scaling::Divided,
+        input_layout: Layout::Sharded,
+        output_layout: Layout::Full,
+        fwd_comm_elems: output_elems,
+        bwd_comm_elems: 0,
+        efficiency: eff,
+    }
+}
+
+/// Sharded elementwise passthrough (GeLU between column- and row-parallel
+/// matmuls, head-sharded attention internals).
+fn elementwise() -> PartitionSpec {
+    PartitionSpec {
+        dim: PartitionDim::Elementwise,
+        scaling: Scaling::Divided,
+        input_layout: Layout::Sharded,
+        output_layout: Layout::Sharded,
+        fwd_comm_elems: 0,
+        bwd_comm_elems: 0,
+        efficiency: 1.0,
+    }
+}
+
+/// A LayerNorm operator (replicated under tp, bandwidth-bound).
+pub fn layer_norm(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let e = seq * d.hidden;
+    Operator {
+        name,
+        kind: OpKind::LayerNorm,
+        flops: 5.0 * e as f64,
+        params: 2 * d.hidden,
+        input_elems: e,
+        output_elems: e,
+        stash_elems: e,
+        tp_limit: u32::MAX,
+        partitions: vec![PartitionSpec::replicated()],
+    }
+}
+
+/// Fused QKV projection (column-parallel by default).
+pub fn qkv_proj(name: String, d: &TransformerDims, seq: u64, kv_mult: u64) -> Operator {
+    // `kv_mult` is 3 for fused self-attention QKV, 1 for a lone Q, 2 for KV.
+    let h = d.hidden;
+    let in_e = seq * h;
+    let out_e = kv_mult * seq * h;
+    Operator {
+        name,
+        kind: OpKind::MatMul,
+        flops: 2.0 * (seq * h * kv_mult * h) as f64,
+        params: kv_mult * h * h + kv_mult * h,
+        input_elems: in_e,
+        output_elems: out_e,
+        stash_elems: in_e,
+        tp_limit: d.heads,
+        partitions: vec![col(in_e, 1.0), row(out_e, 0.97)],
+    }
+}
+
+/// Attention core `softmax(QKᵀ)V`, head-sharded.
+///
+/// Stashes Q/K/V, the softmax input *and* output (Megatron-LM keeps both),
+/// the attention-dropout mask, and the context output — the big
+/// pre-FlashAttention activation term that makes a transformer layer stash
+/// ≈ `s·h·(34 + 5·n·s/h)` bytes in fp16.
+pub fn attention_core(name: String, d: &TransformerDims, seq_q: u64, seq_kv: u64) -> Operator {
+    let h = d.hidden;
+    let probs = 5 * u64::from(d.heads) * seq_q * seq_kv / 2;
+    Operator {
+        name,
+        kind: OpKind::Attention,
+        // QKᵀ and A·V, 2 FLOPs per MAC each.
+        flops: 2.0 * 2.0 * (seq_q * seq_kv * h) as f64,
+        params: 0,
+        input_elems: seq_q * h + 2 * seq_kv * h,
+        output_elems: seq_q * h,
+        stash_elems: 2 * seq_q * h + 2 * seq_kv * h + probs,
+        tp_limit: d.heads,
+        partitions: vec![PartitionSpec {
+            dim: PartitionDim::Head,
+            scaling: Scaling::Divided,
+            input_layout: Layout::Sharded,
+            output_layout: Layout::Sharded,
+            fwd_comm_elems: 0,
+            bwd_comm_elems: 0,
+            efficiency: 0.55,
+        }],
+    }
+}
+
+/// Attention output projection (row-parallel by default).
+pub fn out_proj(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let h = d.hidden;
+    let e = seq * h;
+    Operator {
+        name,
+        kind: OpKind::MatMul,
+        flops: 2.0 * (seq * h * h) as f64,
+        params: h * h + h,
+        input_elems: e,
+        output_elems: e,
+        // Input plus the residual-dropout mask.
+        stash_elems: 2 * e,
+        tp_limit: d.heads,
+        partitions: vec![row(e, 1.0), col(e, 0.97)],
+    }
+}
+
+/// First MLP matmul `h → ffn` (column-parallel by default).
+pub fn mlp_fc1(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let in_e = seq * d.hidden;
+    let out_e = seq * d.ffn;
+    Operator {
+        name,
+        kind: OpKind::MatMul,
+        flops: 2.0 * (seq * d.hidden * d.ffn) as f64,
+        params: d.hidden * d.ffn + d.ffn,
+        input_elems: in_e,
+        output_elems: out_e,
+        stash_elems: in_e,
+        tp_limit: (d.ffn / 64).min(u64::from(u32::MAX)) as u32,
+        partitions: vec![col(in_e, 1.0), row(out_e, 0.9)],
+    }
+}
+
+/// Elementwise activation between the MLP matmuls.
+pub fn mlp_act(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let e = seq * d.ffn;
+    Operator {
+        name,
+        kind: OpKind::Activation,
+        flops: 8.0 * e as f64,
+        params: 0,
+        input_elems: e,
+        output_elems: e,
+        stash_elems: e,
+        tp_limit: (d.ffn / 64).min(u64::from(u32::MAX)) as u32,
+        partitions: vec![elementwise()],
+    }
+}
+
+/// Second MLP matmul `ffn → h` (row-parallel by default).
+pub fn mlp_fc2(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let in_e = seq * d.ffn;
+    let out_e = seq * d.hidden;
+    Operator {
+        name,
+        kind: OpKind::MatMul,
+        flops: 2.0 * (seq * d.hidden * d.ffn) as f64,
+        params: d.hidden * d.ffn + d.hidden,
+        input_elems: in_e,
+        output_elems: out_e,
+        // Input plus the residual-dropout mask.
+        stash_elems: in_e + out_e,
+        tp_limit: (d.ffn / 64).min(u64::from(u32::MAX)) as u32,
+        partitions: vec![row(out_e, 1.0), col(out_e, 0.9)],
+    }
+}
+
+/// Vocab-parallel token embedding.
+pub fn embedding(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let e = seq * d.hidden;
+    Operator {
+        name,
+        kind: OpKind::Embedding,
+        flops: 2.0 * e as f64,
+        params: d.vocab * d.hidden + seq * d.hidden,
+        input_elems: seq,
+        output_elems: e,
+        stash_elems: seq,
+        tp_limit: 64,
+        partitions: vec![
+            PartitionSpec {
+                dim: PartitionDim::Vocab,
+                scaling: Scaling::Divided,
+                input_layout: Layout::Full,
+                output_layout: Layout::Full,
+                fwd_comm_elems: e,
+                bwd_comm_elems: 0,
+                efficiency: 1.0,
+            },
+            PartitionSpec::replicated(),
+        ],
+    }
+}
+
+/// Vocab-parallel language-model head (`h → vocab` matmul).
+pub fn lm_head(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let in_e = seq * d.hidden;
+    let out_e = seq * d.vocab;
+    Operator {
+        name,
+        kind: OpKind::MatMul,
+        flops: 2.0 * (seq * d.hidden * d.vocab) as f64,
+        params: d.vocab * d.hidden,
+        input_elems: in_e,
+        output_elems: out_e,
+        stash_elems: in_e,
+        tp_limit: 64,
+        partitions: vec![col(in_e, 1.0)],
+    }
+}
+
+/// Vocab-sharded softmax cross-entropy loss; the heavy last-stage operator
+/// the GPT case study (§5.4) attributes uneven pipeline partitions to.
+pub fn ce_loss(name: String, d: &TransformerDims, seq: u64) -> Operator {
+    let logits = seq * d.vocab;
+    Operator {
+        name,
+        kind: OpKind::Loss,
+        flops: 10.0 * logits as f64,
+        params: 0,
+        input_elems: logits,
+        output_elems: 1,
+        stash_elems: logits,
+        tp_limit: 64,
+        partitions: vec![PartitionSpec {
+            dim: PartitionDim::Elementwise,
+            scaling: Scaling::Divided,
+            input_layout: Layout::Sharded,
+            output_layout: Layout::Full,
+            fwd_comm_elems: 4 * seq,
+            bwd_comm_elems: 0,
+            efficiency: 1.0,
+        }],
+    }
+}
+
+/// Appends one decoder/encoder self-attention + MLP layer (8 operators).
+pub fn push_layer(ops: &mut Vec<Operator>, prefix: &str, d: &TransformerDims, seq: u64) {
+    ops.push(layer_norm(format!("{prefix}.ln1"), d, seq));
+    ops.push(qkv_proj(format!("{prefix}.qkv"), d, seq, 3));
+    ops.push(attention_core(format!("{prefix}.attn"), d, seq, seq));
+    ops.push(out_proj(format!("{prefix}.proj"), d, seq));
+    ops.push(layer_norm(format!("{prefix}.ln2"), d, seq));
+    ops.push(mlp_fc1(format!("{prefix}.fc1"), d, seq));
+    ops.push(mlp_act(format!("{prefix}.act"), d, seq));
+    ops.push(mlp_fc2(format!("{prefix}.fc2"), d, seq));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> TransformerDims {
+        TransformerDims {
+            hidden: 1024,
+            heads: 16,
+            ffn: 4096,
+            vocab: 51200,
+        }
+    }
+
+    #[test]
+    fn layer_param_count_is_12h2() {
+        let d = dims();
+        let mut ops = Vec::new();
+        push_layer(&mut ops, "l0", &d, 2048);
+        let params: u64 = ops.iter().map(|o| o.params).sum();
+        let h = d.hidden;
+        // 12 h² plus biases and LN weights.
+        let expect = 12 * h * h;
+        assert!(
+            params > expect && params < expect + 32 * h,
+            "params={params}"
+        );
+    }
+
+    #[test]
+    fn layer_flops_match_closed_form() {
+        let d = dims();
+        let mut ops = Vec::new();
+        push_layer(&mut ops, "l0", &d, 2048);
+        let flops: f64 = ops.iter().map(|o| o.flops).sum();
+        let h = d.hidden as f64;
+        let s = 2048f64;
+        // 24 s h² (matmuls) + 4 s² h (attention), ignoring elementwise terms.
+        let expect = 24.0 * s * h * h + 4.0 * s * s * h;
+        assert!((flops - expect).abs() / expect < 0.02, "flops={flops:e}");
+    }
+
+    #[test]
+    fn column_then_row_avoids_forward_comm() {
+        let d = dims();
+        let fc1 = mlp_fc1("f1".into(), &d, 2048);
+        let fc2 = mlp_fc2("f2".into(), &d, 2048);
+        assert_eq!(fc1.partitions[0].fwd_comm_elems, 0);
+        assert_eq!(fc1.partitions[0].output_layout, Layout::Sharded);
+        assert_eq!(fc2.partitions[0].input_layout, Layout::Sharded);
+        assert!(fc2.partitions[0].fwd_comm_elems > 0);
+    }
+
+    #[test]
+    fn attention_stash_includes_probs() {
+        let d = dims();
+        let a = attention_core("a".into(), &d, 2048, 2048);
+        assert!(a.stash_elems > u64::from(d.heads) * 2048 * 2048);
+        assert_eq!(a.tp_limit, d.heads);
+    }
+
+    #[test]
+    fn alternative_partitions_present_on_matmuls() {
+        let d = dims();
+        let q = qkv_proj("q".into(), &d, 2048, 3);
+        assert_eq!(q.partitions.len(), 2);
+        assert_ne!(q.partitions[0].dim, q.partitions[1].dim);
+    }
+}

@@ -1,0 +1,359 @@
+//! Wide-ResNet family (paper Table 2: 0.5B, 2B, 4B, 6.8B, 13B; FP32,
+//! 224×224×3 inputs, batch 1536).
+//!
+//! The architecture is a bottleneck ResNet whose interior widths are scaled
+//! by a width multiplier (as in the Wide-ResNet / Alpa evaluation setups);
+//! parameters grow roughly with the square of the multiplier.
+
+use crate::graph::{ModelGraph, Precision};
+use crate::op::{Layout, OpKind, Operator, PartitionDim, PartitionSpec, Scaling};
+
+/// Wide-ResNet variants used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WideResnetSize {
+    /// ≈0.5 B parameters (depth 50, width ×4).
+    S0_5b,
+    /// ≈2 B parameters (depth 50, width ×8).
+    S2b,
+    /// ≈4 B parameters (depth 50, width ×12).
+    S4b,
+    /// ≈6.8 B parameters (depth 50, width ×16).
+    S6_8b,
+    /// ≈13 B parameters (depth 101, width ×16).
+    S13b,
+}
+
+impl WideResnetSize {
+    /// All sizes in paper order.
+    pub const ALL: [WideResnetSize; 5] = [
+        WideResnetSize::S0_5b,
+        WideResnetSize::S2b,
+        WideResnetSize::S4b,
+        WideResnetSize::S6_8b,
+        WideResnetSize::S13b,
+    ];
+
+    /// (bottleneck blocks per stage, width multiplier).
+    pub fn dims(self) -> ([usize; 4], u64) {
+        match self {
+            WideResnetSize::S0_5b => ([3, 4, 6, 3], 4),
+            WideResnetSize::S2b => ([3, 4, 6, 3], 8),
+            WideResnetSize::S4b => ([3, 4, 6, 3], 12),
+            WideResnetSize::S6_8b => ([3, 4, 6, 3], 16),
+            WideResnetSize::S13b => ([3, 4, 23, 3], 16),
+        }
+    }
+
+    /// Nominal parameter count in billions (paper Table 2).
+    pub fn nominal_billions(self) -> f64 {
+        match self {
+            WideResnetSize::S0_5b => 0.5,
+            WideResnetSize::S2b => 2.0,
+            WideResnetSize::S4b => 4.0,
+            WideResnetSize::S6_8b => 6.8,
+            WideResnetSize::S13b => 13.0,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WideResnetSize::S0_5b => "wresnet-0.5b",
+            WideResnetSize::S2b => "wresnet-2b",
+            WideResnetSize::S4b => "wresnet-4b",
+            WideResnetSize::S6_8b => "wresnet-6.8b",
+            WideResnetSize::S13b => "wresnet-13b",
+        }
+    }
+}
+
+/// Out-channel-sharded conv spec: full input, sharded output.
+fn out_channel(input_elems: u64) -> PartitionSpec {
+    PartitionSpec {
+        dim: PartitionDim::OutChannel,
+        scaling: Scaling::Divided,
+        input_layout: Layout::Full,
+        output_layout: Layout::Sharded,
+        fwd_comm_elems: 0,
+        bwd_comm_elems: input_elems,
+        efficiency: 1.0,
+    }
+}
+
+/// In-channel-sharded conv spec: sharded input, full output after a forward
+/// all-reduce.
+fn in_channel(output_elems: u64) -> PartitionSpec {
+    PartitionSpec {
+        dim: PartitionDim::InChannel,
+        scaling: Scaling::Divided,
+        input_layout: Layout::Sharded,
+        output_layout: Layout::Full,
+        fwd_comm_elems: output_elems,
+        bwd_comm_elems: 0,
+        efficiency: 0.93,
+    }
+}
+
+/// Builds a convolution operator.
+///
+/// `spatial` is the output feature-map side length; FLOPs are
+/// `2·k²·C_in·C_out·H·W` per sample.
+#[allow(clippy::too_many_arguments)]
+fn conv(
+    name: String,
+    c_in: u64,
+    c_out: u64,
+    k: u64,
+    spatial_out: u64,
+    spatial_in: u64,
+    default_out_channel: bool,
+) -> Operator {
+    let in_e = c_in * spatial_in * spatial_in;
+    let out_e = c_out * spatial_out * spatial_out;
+    let hw = spatial_out * spatial_out;
+    let mut parts = vec![out_channel(in_e), in_channel(out_e)];
+    if !default_out_channel {
+        parts.swap(0, 1);
+    }
+    Operator {
+        name,
+        kind: OpKind::Conv2d,
+        flops: 2.0 * (k * k * c_in * c_out * hw) as f64,
+        params: k * k * c_in * c_out,
+        input_elems: in_e,
+        output_elems: out_e,
+        stash_elems: in_e,
+        tp_limit: (c_out / 16).clamp(1, 64) as u32,
+        partitions: parts,
+    }
+}
+
+/// Fused BatchNorm + ReLU (bandwidth-bound, sharded passthrough).
+fn norm_act(name: String, c: u64, spatial: u64) -> Operator {
+    let e = c * spatial * spatial;
+    Operator {
+        name,
+        kind: OpKind::NormAct,
+        flops: 10.0 * e as f64,
+        params: 4 * c,
+        input_elems: e,
+        output_elems: e,
+        stash_elems: e,
+        tp_limit: (c / 16).clamp(1, 64) as u32,
+        partitions: vec![
+            PartitionSpec {
+                dim: PartitionDim::Elementwise,
+                scaling: Scaling::Divided,
+                input_layout: Layout::Sharded,
+                output_layout: Layout::Sharded,
+                fwd_comm_elems: 0,
+                bwd_comm_elems: 0,
+                efficiency: 1.0,
+            },
+            PartitionSpec::replicated(),
+        ],
+    }
+}
+
+/// Builds a Wide-ResNet with the paper's batch size (1536), FP32.
+pub fn wide_resnet(size: WideResnetSize) -> ModelGraph {
+    let (blocks, width) = size.dims();
+    wide_resnet_custom(size.name(), &blocks, width, 1536)
+}
+
+/// Builds a Wide-ResNet with explicit stage depths and width multiplier.
+pub fn wide_resnet_custom(
+    name: &str,
+    blocks: &[usize; 4],
+    width: u64,
+    global_batch: usize,
+) -> ModelGraph {
+    let mut ops: Vec<Operator> = Vec::new();
+    // Stem: 7×7/2 conv on 224² input → 112² maps, then 3×3/2 max-pool → 56².
+    let stem_c = 64 * width;
+    ops.push(conv("stem.conv".into(), 3, stem_c, 7, 112, 224, true));
+    ops.push(norm_act("stem.bnrelu".into(), stem_c, 112));
+    ops.push(Operator {
+        name: "stem.pool".into(),
+        kind: OpKind::Pool,
+        flops: 9.0 * (stem_c * 56 * 56) as f64,
+        params: 0,
+        input_elems: stem_c * 112 * 112,
+        output_elems: stem_c * 56 * 56,
+        stash_elems: stem_c * 56 * 56,
+        tp_limit: (stem_c / 16).min(64) as u32,
+        partitions: vec![PartitionSpec {
+            dim: PartitionDim::Elementwise,
+            scaling: Scaling::Divided,
+            input_layout: Layout::Sharded,
+            output_layout: Layout::Sharded,
+            fwd_comm_elems: 0,
+            bwd_comm_elems: 0,
+            efficiency: 1.0,
+        }],
+    });
+
+    let mids = [64 * width, 128 * width, 256 * width, 512 * width];
+    let outs = [256 * width, 512 * width, 1024 * width, 2048 * width];
+    let spatials = [56u64, 28, 14, 7];
+    let mut c_prev = stem_c;
+    for (stage, &n_blocks) in blocks.iter().enumerate() {
+        let (mid, out, sp) = (mids[stage], outs[stage], spatials[stage]);
+        for b in 0..n_blocks {
+            let p = format!("s{stage}b{b}");
+            // Stride-2 downsampling happens in the first block of stages 1–3.
+            let sp_in = if b == 0 && stage > 0 { sp * 2 } else { sp };
+            // Projection shortcut when shape changes.
+            if c_prev != out || sp_in != sp {
+                ops.push(conv(format!("{p}.down"), c_prev, out, 1, sp, sp_in, true));
+            }
+            ops.push(conv(
+                format!("{p}.conv1"),
+                c_prev,
+                mid,
+                1,
+                sp_in,
+                sp_in,
+                true,
+            ));
+            ops.push(norm_act(format!("{p}.bn1"), mid, sp_in));
+            ops.push(conv(format!("{p}.conv2"), mid, mid, 3, sp, sp_in, false));
+            ops.push(norm_act(format!("{p}.bn2"), mid, sp));
+            ops.push(conv(format!("{p}.conv3"), mid, out, 1, sp, sp, true));
+            ops.push(norm_act(format!("{p}.bn3"), out, sp));
+            c_prev = out;
+        }
+    }
+
+    // Head: global average pool + classifier + loss.
+    let classes = 1000u64;
+    ops.push(Operator {
+        name: "head.avgpool".into(),
+        kind: OpKind::Pool,
+        flops: (c_prev * 7 * 7) as f64,
+        params: 0,
+        input_elems: c_prev * 7 * 7,
+        output_elems: c_prev,
+        stash_elems: c_prev,
+        tp_limit: (c_prev / 16).min(64) as u32,
+        partitions: vec![PartitionSpec {
+            dim: PartitionDim::Elementwise,
+            scaling: Scaling::Divided,
+            input_layout: Layout::Sharded,
+            output_layout: Layout::Full,
+            fwd_comm_elems: 0,
+            bwd_comm_elems: 0,
+            efficiency: 1.0,
+        }],
+    });
+    ops.push(Operator {
+        name: "head.fc".into(),
+        kind: OpKind::MatMul,
+        flops: 2.0 * (c_prev * classes) as f64,
+        params: c_prev * classes + classes,
+        input_elems: c_prev,
+        output_elems: classes,
+        stash_elems: c_prev,
+        tp_limit: 16,
+        partitions: vec![
+            PartitionSpec {
+                dim: PartitionDim::Column,
+                scaling: Scaling::Divided,
+                input_layout: Layout::Full,
+                output_layout: Layout::Sharded,
+                fwd_comm_elems: 0,
+                bwd_comm_elems: c_prev,
+                efficiency: 1.0,
+            },
+            PartitionSpec::replicated(),
+        ],
+    });
+    ops.push(Operator {
+        name: "loss".into(),
+        kind: OpKind::Loss,
+        flops: 10.0 * classes as f64,
+        params: 0,
+        input_elems: classes,
+        output_elems: 1,
+        stash_elems: classes,
+        tp_limit: 16,
+        partitions: vec![PartitionSpec {
+            dim: PartitionDim::Elementwise,
+            scaling: Scaling::Divided,
+            input_layout: Layout::Sharded,
+            output_layout: Layout::Full,
+            fwd_comm_elems: 4,
+            bwd_comm_elems: 0,
+            efficiency: 1.0,
+        }],
+    });
+
+    ModelGraph {
+        name: name.into(),
+        ops,
+        global_batch,
+        precision: Precision::Fp32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_match_nominal() {
+        for size in WideResnetSize::ALL {
+            let m = wide_resnet(size);
+            let billions = m.total_params() as f64 / 1e9;
+            let nominal = size.nominal_billions();
+            assert!(
+                (billions / nominal) > 0.6 && (billions / nominal) < 1.6,
+                "{}: built {billions:.2}B vs nominal {nominal}B",
+                size.name()
+            );
+        }
+    }
+
+    #[test]
+    fn uses_fp32_and_conv_ops() {
+        let m = wide_resnet(WideResnetSize::S0_5b);
+        assert_eq!(m.precision, Precision::Fp32);
+        assert!(m.ops.iter().any(|o| o.kind == OpKind::Conv2d));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn early_ops_have_large_activations() {
+        // Early spatial maps dominate activation memory — the property that
+        // makes Wide-ResNet pipelines memory-imbalanced in the paper.
+        let m = wide_resnet(WideResnetSize::S2b);
+        let first_quarter: u64 = m.ops[..m.len() / 4].iter().map(|o| o.stash_elems).sum();
+        let last_quarter: u64 = m.ops[3 * m.len() / 4..].iter().map(|o| o.stash_elems).sum();
+        assert!(first_quarter > 2 * last_quarter);
+    }
+
+    #[test]
+    fn params_concentrate_late() {
+        let m = wide_resnet(WideResnetSize::S2b);
+        let half = m.len() / 2;
+        let early: u64 = m.ops[..half].iter().map(|o| o.params).sum();
+        let late: u64 = m.ops[half..].iter().map(|o| o.params).sum();
+        assert!(late > early);
+    }
+
+    #[test]
+    fn conv_has_both_channel_partitions() {
+        let m = wide_resnet(WideResnetSize::S0_5b);
+        let c = m.ops.iter().find(|o| o.name == "s0b0.conv1").unwrap();
+        assert_eq!(c.partitions.len(), 2);
+        assert_eq!(c.partitions[0].dim, PartitionDim::OutChannel);
+        assert_eq!(c.partitions[1].dim, PartitionDim::InChannel);
+    }
+
+    #[test]
+    fn depth_101_has_more_ops() {
+        let a = wide_resnet(WideResnetSize::S6_8b);
+        let b = wide_resnet(WideResnetSize::S13b);
+        assert!(b.len() > a.len());
+    }
+}

@@ -1,0 +1,18 @@
+//! The analytic performance model (paper §3.3).
+//!
+//! Given a [`aceso_config::ParallelConfig`], [`PerfModel::evaluate`]
+//! predicts, per pipeline stage: compute and communication time per
+//! microbatch, memory consumption (Eq. 1, including recomputation and the
+//! deliberate reserved-memory overestimate), per-stage iteration time
+//! (Eq. 2: warmup + steady + cooldown under 1F1B), and rolls them into the
+//! configuration's iteration time, throughput and feasibility.
+//!
+//! The search consumes this as its only oracle: it never needs absolute
+//! accuracy, only a faithful *ordering* of configurations and a resource
+//! breakdown to identify bottlenecks — the same stance the paper takes.
+
+pub mod estimate;
+pub mod model;
+
+pub use estimate::{ConfigEstimate, StageEstimate};
+pub use model::PerfModel;

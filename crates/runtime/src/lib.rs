@@ -1,0 +1,28 @@
+//! Discrete-event 1F1B execution simulator — the "actual" runs.
+//!
+//! The paper evaluates found configurations by executing them on a real
+//! V100 cluster with a modified Megatron-LM. This crate substitutes an
+//! event-driven simulator that plays the role of that runtime: it executes
+//! the true 1F1B schedule task by task (per-stage interleaving, cross-stage
+//! p2p dependencies), applies per-task jitter and per-microbatch framework
+//! overheads the analytic model does not know about, and tracks peak
+//! memory with a caching-allocator model (fragmentation + buffer reuse)
+//! instead of Eq. 1's deliberate overestimate.
+//!
+//! Because the simulator shares the profiled per-op costs with the
+//! performance model but composes them differently, comparing the two
+//! yields meaningful prediction-error numbers for Exp#8/#9 — the same
+//! separation the paper has between its model and its hardware.
+
+pub mod memory;
+pub mod plan;
+pub mod report;
+pub mod schedule;
+pub mod sim;
+pub mod timeline;
+
+pub use plan::ExecutionPlan;
+pub use report::SimReport;
+pub use schedule::{gpipe, one_f_one_b, PipelineSchedule, Task};
+pub use sim::{SimOptions, Simulator};
+pub use timeline::{to_chrome_trace, TimelineEvent};

@@ -1,0 +1,75 @@
+//! Caching-allocator memory model.
+//!
+//! The real training framework's allocator rounds allocations into blocks,
+//! fragments under mixed tensor sizes, and caches freed buffers for reuse.
+//! The analytic model (§3.3) deliberately *overestimates* the reserve (max
+//! per-op working set); the simulator's "actual" memory applies a
+//! fragmentation factor to live activations and a buffer-reuse factor to
+//! the transient pool instead, so predicted-vs-actual comparisons (Exp#9)
+//! show the same overestimation pattern the paper reports.
+
+use aceso_util::hash::keyed_jitter;
+use aceso_util::FnvHasher;
+
+/// Fraction of the pessimistic working-set bound the caching allocator
+/// actually keeps resident (buffer reuse is good but not perfect).
+const RESERVE_REUSE: f64 = 0.45;
+/// Base fragmentation on live activation blocks.
+const FRAG_BASE: f64 = 1.0;
+/// Stage-dependent fragmentation spread.
+const FRAG_SPREAD: f64 = 0.03;
+
+/// "Actual" peak memory of one stage device.
+///
+/// * `params`, `opt` — exact (parameters, gradients, optimiser states);
+/// * `act_per_mb` × `in_flight` — live stash, inflated by fragmentation;
+/// * `reserved_bound` — the analytic model's pessimistic transient bound,
+///   deflated by the allocator's buffer reuse.
+pub fn actual_peak_memory(
+    seed: u64,
+    stage: usize,
+    params: u64,
+    opt: u64,
+    act_per_mb: u64,
+    in_flight: u64,
+    reserved_bound: u64,
+) -> u64 {
+    let mut h = FnvHasher::new();
+    h.write_u64(seed);
+    h.write_usize(stage);
+    let frag = FRAG_BASE + FRAG_SPREAD * (keyed_jitter(h.finish(), 1.0) - 1.0).abs();
+    let live = (act_per_mb as f64 * in_flight as f64 * frag) as u64;
+    let reserve = (reserved_bound as f64 * RESERVE_REUSE) as u64;
+    params + opt + live + reserve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_pessimistic_bound() {
+        // With the same inputs as Eq. 1, actual memory comes out below the
+        // prediction (the paper's systematic overestimation).
+        let predicted = 100 + 50 + 10 * 4 + 40;
+        let actual = actual_peak_memory(7, 0, 100, 50, 10, 4, 40);
+        assert!(actual < predicted);
+        assert!(actual > 100 + 50 + 10 * 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_stage() {
+        let a = actual_peak_memory(1, 2, 1000, 500, 100, 3, 400);
+        let b = actual_peak_memory(1, 2, 1000, 500, 100, 3, 400);
+        assert_eq!(a, b);
+        let c = actual_peak_memory(2, 2, 1000, 500, 100, 3, 400);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scales_with_in_flight() {
+        let one = actual_peak_memory(1, 0, 0, 0, 1000, 1, 0);
+        let four = actual_peak_memory(1, 0, 0, 0, 1000, 4, 0);
+        assert!(four > 3 * one);
+    }
+}

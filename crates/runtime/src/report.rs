@@ -1,0 +1,49 @@
+//! Execution reports.
+
+/// Measured results of one simulated training iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Measured iteration time, seconds.
+    pub iteration_time: f64,
+    /// Peak memory per stage device, bytes.
+    pub peak_memory_per_stage: Vec<u64>,
+    /// Largest per-device peak across stages, bytes.
+    pub peak_memory: u64,
+    /// Device capacity the run was executed against, bytes.
+    pub mem_capacity: u64,
+    /// Per-stage busy fraction (compute+comm time / iteration time).
+    pub stage_utilization: Vec<f64>,
+    /// Samples per second.
+    pub throughput: f64,
+    /// Effective TFLOPS per GPU (recomputation excluded, as in the
+    /// paper's appendix tables).
+    pub tflops_per_gpu: f64,
+}
+
+impl SimReport {
+    /// Whether the execution stayed within device memory.
+    pub fn ok(&self) -> bool {
+        self.peak_memory <= self.mem_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_flags_oom() {
+        let mut r = SimReport {
+            iteration_time: 1.0,
+            peak_memory_per_stage: vec![10, 20],
+            peak_memory: 20,
+            mem_capacity: 25,
+            stage_utilization: vec![0.9, 0.8],
+            throughput: 100.0,
+            tflops_per_gpu: 50.0,
+        };
+        assert!(r.ok());
+        r.peak_memory = 30;
+        assert!(!r.ok());
+    }
+}

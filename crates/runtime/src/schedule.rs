@@ -1,0 +1,136 @@
+//! 1F1B pipeline schedules.
+
+/// One unit of stage work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Forward pass of one microbatch.
+    Fwd(usize),
+    /// Backward pass of one microbatch.
+    Bwd(usize),
+}
+
+/// Pipeline scheduling disciplines the simulator can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineSchedule {
+    /// One-forward-one-backward (Megatron/PipeDream-flush style) — the
+    /// paper's schedule; bounds in-flight microbatches by `p − i`.
+    #[default]
+    OneFOneB,
+    /// GPipe: all forwards, flush, all backwards — simpler but stashes
+    /// every microbatch at once.
+    GPipe,
+}
+
+/// Task order of stage `i` under `schedule` (see [`one_f_one_b`] and
+/// [`gpipe`]).
+pub fn schedule_tasks(schedule: PipelineSchedule, i: usize, p: usize, n: usize) -> Vec<Task> {
+    match schedule {
+        PipelineSchedule::OneFOneB => one_f_one_b(i, p, n),
+        PipelineSchedule::GPipe => gpipe(n),
+    }
+}
+
+/// The GPipe task order (identical on every stage): forwards 0..n, then
+/// backwards n..0 (reverse order, matching the autograd flush).
+pub fn gpipe(n: usize) -> Vec<Task> {
+    let mut order: Vec<Task> = (0..n).map(Task::Fwd).collect();
+    order.extend((0..n).rev().map(Task::Bwd));
+    order
+}
+
+/// The 1F1B task order of stage `i` in a `p`-stage pipeline running `n`
+/// microbatches: `min(p − i, n)` warm-up forwards, then strict one-forward
+/// one-backward alternation, then the cool-down backwards.
+pub fn one_f_one_b(i: usize, p: usize, n: usize) -> Vec<Task> {
+    let warmup = (p - i).min(n);
+    let mut order = Vec::with_capacity(2 * n);
+    for mb in 0..warmup {
+        order.push(Task::Fwd(mb));
+    }
+    for k in 0..n - warmup {
+        order.push(Task::Bwd(k));
+        order.push(Task::Fwd(warmup + k));
+    }
+    for k in n - warmup..n {
+        order.push(Task::Bwd(k));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Task::{Bwd, Fwd};
+
+    #[test]
+    fn last_stage_alternates_strictly() {
+        let order = one_f_one_b(2, 3, 4);
+        assert_eq!(
+            order,
+            vec![
+                Fwd(0),
+                Bwd(0),
+                Fwd(1),
+                Bwd(1),
+                Fwd(2),
+                Bwd(2),
+                Fwd(3),
+                Bwd(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn first_stage_warms_up_p_microbatches() {
+        let order = one_f_one_b(0, 3, 5);
+        assert_eq!(&order[..3], &[Fwd(0), Fwd(1), Fwd(2)]);
+        assert_eq!(order.len(), 10);
+        // Cooldown: final tasks are all backwards.
+        assert!(matches!(order[order.len() - 1], Bwd(4)));
+    }
+
+    #[test]
+    fn every_microbatch_runs_fwd_and_bwd_once() {
+        for (i, p, n) in [(0, 4, 8), (3, 4, 8), (1, 2, 3), (0, 1, 4)] {
+            let order = one_f_one_b(i, p, n);
+            assert_eq!(order.len(), 2 * n);
+            for mb in 0..n {
+                assert_eq!(order.iter().filter(|t| **t == Fwd(mb)).count(), 1);
+                assert_eq!(order.iter().filter(|t| **t == Bwd(mb)).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_never_precedes_forward_of_same_microbatch() {
+        for (i, p, n) in [(0, 4, 8), (2, 4, 8), (0, 1, 4)] {
+            let order = one_f_one_b(i, p, n);
+            for mb in 0..n {
+                let fpos = order.iter().position(|t| *t == Fwd(mb)).unwrap();
+                let bpos = order.iter().position(|t| *t == Bwd(mb)).unwrap();
+                assert!(fpos < bpos, "stage {i}: mb {mb} bwd before fwd");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_microbatches_than_stages() {
+        let order = one_f_one_b(0, 8, 2);
+        assert_eq!(order, vec![Fwd(0), Fwd(1), Bwd(0), Bwd(1)]);
+    }
+
+    #[test]
+    fn gpipe_flushes_then_reverses() {
+        let order = gpipe(3);
+        assert_eq!(order, vec![Fwd(0), Fwd(1), Fwd(2), Bwd(2), Bwd(1), Bwd(0)]);
+        assert_eq!(
+            schedule_tasks(PipelineSchedule::GPipe, 5, 8, 3),
+            gpipe(3),
+            "gpipe order is stage-independent"
+        );
+        assert_eq!(
+            schedule_tasks(PipelineSchedule::OneFOneB, 2, 3, 4),
+            one_f_one_b(2, 3, 4)
+        );
+    }
+}

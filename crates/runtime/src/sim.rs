@@ -1,0 +1,476 @@
+//! The event-driven pipeline execution engine.
+
+use crate::memory::actual_peak_memory;
+use crate::report::SimReport;
+use crate::schedule::{schedule_tasks, PipelineSchedule, Task};
+use crate::timeline::TimelineEvent;
+use aceso_cluster::ClusterSpec;
+use aceso_config::{ConfigError, ParallelConfig};
+use aceso_model::ModelGraph;
+use aceso_perf::PerfModel;
+use aceso_profile::ProfileDb;
+use aceso_util::hash::keyed_jitter;
+use aceso_util::FnvHasher;
+
+/// Simulator knobs.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Seed for per-task jitter and allocator behaviour.
+    pub seed: u64,
+    /// Relative per-task duration jitter.
+    pub jitter: f64,
+    /// Framework overhead per forward task (Python/driver bookkeeping the
+    /// analytic model does not account for), seconds.
+    pub fwd_overhead: f64,
+    /// Framework overhead per backward task, seconds.
+    pub bwd_overhead: f64,
+    /// Pipeline scheduling discipline to execute.
+    pub schedule: PipelineSchedule,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0x51_AC_E5,
+            jitter: 0.03,
+            fwd_overhead: 0.15e-3,
+            bwd_overhead: 0.3e-3,
+            schedule: PipelineSchedule::OneFOneB,
+        }
+    }
+}
+
+/// Discrete-event 1F1B simulator over a profiled cluster.
+pub struct Simulator<'a> {
+    model: &'a ModelGraph,
+    cluster: &'a ClusterSpec,
+    db: &'a ProfileDb,
+    options: SimOptions,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator.
+    pub fn new(
+        model: &'a ModelGraph,
+        cluster: &'a ClusterSpec,
+        db: &'a ProfileDb,
+        options: SimOptions,
+    ) -> Self {
+        Self {
+            model,
+            cluster,
+            db,
+            options,
+        }
+    }
+
+    /// Creates a simulator with default options.
+    pub fn with_defaults(
+        model: &'a ModelGraph,
+        cluster: &'a ClusterSpec,
+        db: &'a ProfileDb,
+    ) -> Self {
+        Self::new(model, cluster, db, SimOptions::default())
+    }
+
+    /// Deterministic per-task jitter factor.
+    fn task_jitter(&self, cfg_hash: u64, stage: usize, mb: usize, bwd: bool) -> f64 {
+        let mut h = FnvHasher::new();
+        h.write_u64(self.options.seed);
+        h.write_u64(cfg_hash);
+        h.write_usize(stage);
+        h.write_usize(mb);
+        h.write_bool(bwd);
+        keyed_jitter(h.finish(), self.options.jitter)
+    }
+
+    /// Executes one training iteration of `config` and reports measured
+    /// time, memory, throughput and TFLOPS.
+    pub fn execute(&self, config: &ParallelConfig) -> Result<SimReport, ConfigError> {
+        self.run(config, None)
+    }
+
+    /// Like [`Self::execute`], additionally returning the per-task
+    /// timeline (exportable with [`crate::timeline::to_chrome_trace`]).
+    pub fn execute_traced(
+        &self,
+        config: &ParallelConfig,
+    ) -> Result<(SimReport, Vec<TimelineEvent>), ConfigError> {
+        let mut events = Vec::new();
+        let report = self.run(config, Some(&mut events))?;
+        Ok((report, events))
+    }
+
+    fn run(
+        &self,
+        config: &ParallelConfig,
+        mut timeline: Option<&mut Vec<TimelineEvent>>,
+    ) -> Result<SimReport, ConfigError> {
+        let pm = PerfModel::new(self.model, self.cluster, self.db);
+        // Reuse the validated per-stage cost ingredients; the composition
+        // below (schedule, overheads, jitter, allocator) is what differs
+        // from the analytic prediction.
+        aceso_config::validate::validate(config, self.model, self.cluster)?;
+        let p = config.num_stages();
+        let n = config.num_microbatches(self.model.global_batch).max(1);
+        let cfg_hash = config.semantic_hash();
+
+        let breakdowns: Vec<_> = (0..p).map(|i| pm.stage_breakdown(config, i)).collect();
+        // Boundary transfer times (stage i → i+1), one per microbatch and
+        // direction.
+        let transfers: Vec<f64> = (0..p.saturating_sub(1))
+            .map(|i| {
+                let from = config.device_range(i).end() - 1;
+                let to = config.device_range(i + 1).start;
+                pm.boundary_p2p(config, i, from, to)
+            })
+            .collect();
+
+        // Per-stage schedules and completion tracking.
+        let schedules: Vec<Vec<Task>> = (0..p)
+            .map(|i| schedule_tasks(self.options.schedule, i, p, n))
+            .collect();
+        let mut fwd_done = vec![vec![f64::NAN; n]; p];
+        let mut bwd_done = vec![vec![f64::NAN; n]; p];
+        let mut cursor = vec![0usize; p];
+        let mut clock = vec![0.0f64; p];
+        let mut busy = vec![0.0f64; p];
+
+        let total_tasks: usize = schedules.iter().map(Vec::len).sum();
+        let mut completed = 0usize;
+        while completed < total_tasks {
+            let mut progressed = false;
+            for i in 0..p {
+                while cursor[i] < schedules[i].len() {
+                    let task = schedules[i][cursor[i]];
+                    // Cross-stage dependency readiness.
+                    let ready = match task {
+                        Task::Fwd(mb) => {
+                            if i == 0 {
+                                Some(0.0)
+                            } else if fwd_done[i - 1][mb].is_nan() {
+                                None
+                            } else {
+                                Some(fwd_done[i - 1][mb] + transfers[i - 1])
+                            }
+                        }
+                        Task::Bwd(mb) => {
+                            if i == p - 1 {
+                                // Loss stage: backward follows its own fwd.
+                                if fwd_done[i][mb].is_nan() {
+                                    None
+                                } else {
+                                    Some(fwd_done[i][mb])
+                                }
+                            } else if bwd_done[i + 1][mb].is_nan() {
+                                None
+                            } else {
+                                Some(bwd_done[i + 1][mb] + transfers[i])
+                            }
+                        }
+                    };
+                    let Some(ready) = ready else { break };
+                    let (dur, mb, is_bwd) = match task {
+                        Task::Fwd(mb) => (
+                            breakdowns[i].comp_fwd
+                                + breakdowns[i].comm_fwd
+                                + self.options.fwd_overhead,
+                            mb,
+                            false,
+                        ),
+                        Task::Bwd(mb) => (
+                            breakdowns[i].comp_bwd
+                                + breakdowns[i].comm_bwd
+                                + self.options.bwd_overhead,
+                            mb,
+                            true,
+                        ),
+                    };
+                    let dur = dur * self.task_jitter(cfg_hash, i, mb, is_bwd);
+                    let start = clock[i].max(ready);
+                    let done = start + dur;
+                    clock[i] = done;
+                    busy[i] += dur;
+                    if let Some(events) = timeline.as_deref_mut() {
+                        events.push(TimelineEvent {
+                            stage: i,
+                            microbatch: mb,
+                            kind: if is_bwd { "bwd" } else { "fwd" },
+                            start,
+                            duration: dur,
+                        });
+                    }
+                    match task {
+                        Task::Fwd(mb) => fwd_done[i][mb] = done,
+                        Task::Bwd(mb) => bwd_done[i][mb] = done,
+                    }
+                    cursor[i] += 1;
+                    completed += 1;
+                    progressed = true;
+                }
+            }
+            debug_assert!(progressed, "1F1B schedule deadlocked");
+            if !progressed {
+                break;
+            }
+        }
+
+        // Gradient sync after each stage's last backward (serialised; the
+        // analytic model assumes the same, so the residual difference is
+        // composition only).
+        let mut iteration_time = 0.0f64;
+        for i in 0..p {
+            let sync = breakdowns[i].dp_sync * self.task_jitter(cfg_hash, i, usize::MAX >> 1, true);
+            iteration_time = iteration_time.max(clock[i] + sync);
+        }
+
+        // Memory via the allocator model.
+        let peak_memory_per_stage: Vec<u64> = (0..p)
+            .map(|i| {
+                let b = &breakdowns[i];
+                let in_flight = match self.options.schedule {
+                    PipelineSchedule::OneFOneB => (p - i).min(n) as u64,
+                    // GPipe flushes: every microbatch's stash is live.
+                    PipelineSchedule::GPipe => n as u64,
+                };
+                actual_peak_memory(
+                    self.options.seed,
+                    i,
+                    b.mem_params,
+                    b.mem_opt,
+                    b.mem_act_per_mb,
+                    in_flight,
+                    b.mem_reserved,
+                )
+            })
+            .collect();
+        let peak_memory = peak_memory_per_stage.iter().copied().max().unwrap_or(0);
+
+        let throughput = self.model.global_batch as f64 / iteration_time;
+        let tflops_per_gpu =
+            self.model.iteration_flops() / iteration_time / self.cluster.total_gpus() as f64 / 1e12;
+        Ok(SimReport {
+            iteration_time,
+            peak_memory_per_stage,
+            peak_memory,
+            mem_capacity: self.cluster.device.mem_bytes,
+            stage_utilization: busy
+                .iter()
+                .map(|&b| {
+                    if iteration_time > 0.0 {
+                        b / iteration_time
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            throughput,
+            tflops_per_gpu,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aceso_config::balanced_init;
+    use aceso_model::zoo::gpt3_custom;
+
+    fn setup() -> (ModelGraph, ClusterSpec) {
+        (
+            gpt3_custom("t", 4, 512, 8, 256, 8192, 64),
+            ClusterSpec::v100(1, 4),
+        )
+    }
+
+    #[test]
+    fn executes_balanced_config() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let sim = Simulator::with_defaults(&m, &c, &db);
+        let r = sim.execute(&cfg).expect("runs");
+        assert!(r.iteration_time > 0.0);
+        assert!(r.throughput > 0.0);
+        assert!(r.tflops_per_gpu > 0.0);
+        assert_eq!(r.peak_memory_per_stage.len(), 2);
+        assert!(r.stage_utilization.iter().all(|&u| u > 0.0 && u <= 1.0));
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let sim = Simulator::with_defaults(&m, &c, &db);
+        let a = sim.execute(&cfg).expect("a");
+        let b = sim.execute(&cfg).expect("b");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prediction_close_to_measurement() {
+        // The analytic model should land within ~15% of the simulator for
+        // a realistically-sized workload (the paper reports 2.7–7.3%
+        // average); tiny toy models are dominated by per-task overheads
+        // the analytic model deliberately does not know about.
+        let m = gpt3_custom("t", 8, 1024, 16, 1024, 8192, 64);
+        let c = ClusterSpec::v100(1, 4);
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let pm = PerfModel::new(&m, &c, &db);
+        let predicted = pm.evaluate_unchecked(&cfg).iteration_time;
+        let sim = Simulator::with_defaults(&m, &c, &db);
+        let actual = sim.execute(&cfg).expect("runs").iteration_time;
+        let err = (predicted - actual).abs() / actual;
+        assert!(err < 0.25, "prediction error {err:.3} too large");
+    }
+
+    #[test]
+    fn memory_prediction_overestimates() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let pm = PerfModel::new(&m, &c, &db);
+        let predicted = pm.evaluate_unchecked(&cfg).max_memory;
+        let actual = Simulator::with_defaults(&m, &c, &db)
+            .execute(&cfg)
+            .expect("runs")
+            .peak_memory;
+        assert!(predicted >= actual, "Eq. 1 is designed to overestimate");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let mut cfg = balanced_init(&m, &c, 2).expect("init");
+        cfg.microbatch = 0;
+        let sim = Simulator::with_defaults(&m, &c, &db);
+        assert!(sim.execute(&cfg).is_err());
+    }
+
+    #[test]
+    fn pipeline_faster_than_sequential_per_microbatch_sum() {
+        // With n microbatches, the pipeline must beat n × (whole-model
+        // time) — sanity that overlap actually happens in the engine.
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let sim = Simulator::with_defaults(&m, &c, &db);
+        let r = sim.execute(&cfg).expect("runs");
+        let pm = PerfModel::new(&m, &c, &db);
+        let est = pm.evaluate_unchecked(&cfg);
+        let n = est.num_microbatches as f64;
+        let serial: f64 = est.stages.iter().map(|s| s.steady_per_mb()).sum::<f64>() * n;
+        assert!(r.iteration_time < serial);
+    }
+
+    #[test]
+    fn deeper_pipelines_have_lower_per_stage_utilization() {
+        // Bubbles grow with stage count at a fixed microbatch count.
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let sim = Simulator::with_defaults(&m, &c, &db);
+        let u2: f64 = {
+            let cfg = balanced_init(&m, &c, 2).expect("init");
+            let r = sim.execute(&cfg).expect("runs");
+            r.stage_utilization.iter().sum::<f64>() / 2.0
+        };
+        let u4: f64 = {
+            let cfg = balanced_init(&m, &c, 4).expect("init");
+            let r = sim.execute(&cfg).expect("runs");
+            r.stage_utilization.iter().sum::<f64>() / 4.0
+        };
+        assert!(u2 > u4, "u2={u2} u4={u4}");
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 1).expect("init");
+        let r = Simulator::with_defaults(&m, &c, &db)
+            .execute(&cfg)
+            .expect("runs");
+        // One stage: busy the whole time except the trailing dp sync.
+        assert!(r.stage_utilization[0] > 0.95);
+    }
+
+    #[test]
+    fn jitter_seed_changes_measurement_slightly() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let a = Simulator::with_defaults(&m, &c, &db)
+            .execute(&cfg)
+            .expect("a");
+        let b = Simulator::new(
+            &m,
+            &c,
+            &db,
+            SimOptions {
+                seed: 12345,
+                ..SimOptions::default()
+            },
+        )
+        .execute(&cfg)
+        .expect("b");
+        assert_ne!(a.iteration_time, b.iteration_time);
+        let rel = (a.iteration_time - b.iteration_time).abs() / a.iteration_time;
+        assert!(rel < 0.1, "seeds should only perturb, not reshape: {rel}");
+    }
+
+    #[test]
+    fn tflops_bounded_by_device_peak() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let r = Simulator::with_defaults(&m, &c, &db)
+            .execute(&cfg)
+            .expect("runs");
+        assert!(r.tflops_per_gpu * 1e12 < c.device.peak_fp16_flops);
+        assert!(r.tflops_per_gpu > 1.0);
+    }
+
+    #[test]
+    fn gpipe_uses_more_memory_than_1f1b() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 2).expect("init");
+        let f1b = Simulator::with_defaults(&m, &c, &db)
+            .execute(&cfg)
+            .expect("1f1b");
+        let gpipe = Simulator::new(
+            &m,
+            &c,
+            &db,
+            SimOptions {
+                schedule: PipelineSchedule::GPipe,
+                ..SimOptions::default()
+            },
+        )
+        .execute(&cfg)
+        .expect("gpipe");
+        // With N > p microbatches, GPipe stashes all of them at once.
+        assert!(gpipe.peak_memory > f1b.peak_memory);
+        // Throughput is in the same ballpark (same work, similar bubbles).
+        let ratio = gpipe.iteration_time / f1b.iteration_time;
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn oom_config_reported_not_errored() {
+        // Execution reports memory overflow via `ok()`, mirroring a crash
+        // in the real runtime rather than a validation error.
+        let m = aceso_model::zoo::gpt3_custom("big", 32, 2560, 32, 2048, 51200, 256);
+        let c = ClusterSpec::v100(1, 1);
+        let db = ProfileDb::build(&m, &c);
+        let cfg = balanced_init(&m, &c, 1).expect("init");
+        let r = Simulator::with_defaults(&m, &c, &db)
+            .execute(&cfg)
+            .expect("simulates");
+        assert!(!r.ok());
+        assert!(r.peak_memory > r.mem_capacity);
+    }
+}

@@ -1,0 +1,86 @@
+//! Execution timelines in Chrome tracing format.
+//!
+//! `chrome://tracing` / Perfetto read a simple JSON array of duration
+//! events; exporting the simulator's per-task timeline there makes
+//! pipeline bubbles, stragglers and imbalance visually obvious — the
+//! debugging workflow one would use on a real cluster's profiler traces.
+
+use serde::{Deserialize, Serialize};
+
+/// One executed task on the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Pipeline stage (rendered as the trace "thread").
+    pub stage: usize,
+    /// Microbatch index.
+    pub microbatch: usize,
+    /// `"fwd"` or `"bwd"`.
+    pub kind: &'static str,
+    /// Start time, seconds from iteration start.
+    pub start: f64,
+    /// Duration, seconds.
+    pub duration: f64,
+}
+
+/// Renders events as a Chrome tracing JSON document (microsecond units).
+pub fn to_chrome_trace(events: &[TimelineEvent]) -> String {
+    #[derive(Serialize)]
+    struct ChromeEvent<'a> {
+        name: String,
+        cat: &'a str,
+        ph: &'a str,
+        ts: f64,
+        dur: f64,
+        pid: u32,
+        tid: usize,
+    }
+    let rows: Vec<ChromeEvent> = events
+        .iter()
+        .map(|e| ChromeEvent {
+            name: format!("{} mb{}", e.kind, e.microbatch),
+            cat: e.kind,
+            ph: "X",
+            ts: e.start * 1e6,
+            dur: e.duration * 1e6,
+            pid: 0,
+            tid: e.stage,
+        })
+        .collect();
+    serde_json::to_string(&rows).expect("trace serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_format() {
+        let events = vec![
+            TimelineEvent {
+                stage: 0,
+                microbatch: 0,
+                kind: "fwd",
+                start: 0.0,
+                duration: 0.5e-3,
+            },
+            TimelineEvent {
+                stage: 1,
+                microbatch: 0,
+                kind: "bwd",
+                start: 1.0e-3,
+                duration: 1.0e-3,
+            },
+        ];
+        let json = to_chrome_trace(&events);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("fwd mb0"));
+        assert!(json.contains("\"tid\":1"));
+        // Durations are microseconds.
+        assert!(json.contains("\"dur\":500"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        assert_eq!(to_chrome_trace(&[]), "[]");
+    }
+}

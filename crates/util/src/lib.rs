@@ -1,0 +1,14 @@
+//! Shared infrastructure for the Aceso reproduction.
+//!
+//! Everything in this crate is deterministic: the RNG is a seeded
+//! SplitMix64, hashing is stable FNV-1a, and the jitter helpers derive
+//! perturbations from hashes rather than from any ambient entropy. This is
+//! what makes every experiment in the repository reproducible bit-for-bit.
+
+pub mod hash;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use hash::{fnv1a, FnvHasher};
+pub use rng::SplitMix64;

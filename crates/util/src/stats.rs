@@ -1,0 +1,87 @@
+//! Small statistics helpers used by the experiment harness.
+
+/// Returns the arithmetic mean, or 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Returns the geometric mean, or 0.0 for an empty slice.
+///
+/// All inputs must be positive; non-positive values are skipped.
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Returns the `p`-th percentile (0..=100) using nearest-rank on a sorted copy.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Returns the mean absolute percentage error of `pred` against `actual`.
+///
+/// Pairs where `actual == 0` are skipped. Result is in percent.
+///
+/// # Examples
+///
+/// ```
+/// let err = aceso_util::stats::mape(&[11.0, 9.0], &[10.0, 10.0]);
+/// assert!((err - 10.0).abs() < 1e-12);
+/// ```
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    let errs: Vec<f64> = pred
+        .iter()
+        .zip(actual)
+        .filter(|(_, &a)| a != 0.0)
+        .map(|(&p, &a)| ((p - a) / a).abs() * 100.0)
+        .collect();
+    mean(&errs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        // Non-positive values are skipped, not propagated as NaN.
+        assert!((geomean(&[2.0, 0.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_basic() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn mape_basic() {
+        let e = mape(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((e - 10.0).abs() < 1e-12);
+        // Zero actuals are skipped.
+        assert_eq!(mape(&[5.0], &[0.0]), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Exporting artifacts for a real deployment: the per-rank execution plan
+//! (what a Megatron-style runtime would consume) and a Chrome-tracing
+//! timeline of the simulated iteration (open in `chrome://tracing` or
+//! Perfetto to see the 1F1B interleaving and pipeline bubbles).
+//!
+//! Run with: `cargo run --release --example export_plan`
+
+use aceso::prelude::*;
+use aceso::runtime::{to_chrome_trace, ExecutionPlan};
+
+fn main() {
+    let model = aceso::model::zoo::gpt3_custom("export-gpt", 8, 1024, 16, 1024, 32000, 64);
+    let cluster = ClusterSpec::v100(1, 8);
+    let db = ProfileDb::build(&model, &cluster);
+
+    let result = AcesoSearch::new(
+        &model,
+        &cluster,
+        &db,
+        SearchOptions {
+            max_iterations: 24,
+            // Pin a 4-stage pipeline so the exported plan and timeline
+            // show pipelining (a single stage is optimal for this small
+            // model, but makes a boring trace).
+            stage_counts: Some(vec![4]),
+            ..SearchOptions::default()
+        },
+    )
+    .run()
+    .expect("search finds a configuration");
+    println!("found configuration:");
+    print!(
+        "{}",
+        aceso::config::describe(&result.best_config, Some(&model))
+    );
+
+    // 1. Per-rank execution plan.
+    let plan = ExecutionPlan::build(&model, &cluster, &result.best_config)
+        .expect("valid config yields a plan");
+    let plan_path = std::env::temp_dir().join("aceso_plan.json");
+    std::fs::write(&plan_path, plan.to_json()).expect("plan writes");
+    println!(
+        "\nwrote execution plan for {} ranks ({} microbatches/iter) to {}",
+        plan.ranks.len(),
+        plan.num_microbatches,
+        plan_path.display()
+    );
+    let r0 = &plan.ranks[0];
+    println!(
+        "rank 0: stage {}, {} op shards, tp group {:?}, sends to {:?}",
+        r0.stage,
+        r0.ops.len(),
+        r0.tp_group,
+        r0.send_to
+    );
+
+    // 2. Simulated-iteration timeline in Chrome tracing format.
+    let sim = Simulator::with_defaults(&model, &cluster, &db);
+    let (report, events) = sim
+        .execute_traced(&result.best_config)
+        .expect("config executes");
+    let trace_path = std::env::temp_dir().join("aceso_timeline.json");
+    std::fs::write(&trace_path, to_chrome_trace(&events)).expect("trace writes");
+    println!(
+        "\nsimulated iteration {:.3} s ({} tasks) — timeline at {}",
+        report.iteration_time,
+        events.len(),
+        trace_path.display()
+    );
+    println!("open it in chrome://tracing or https://ui.perfetto.dev to see the 1F1B bubbles");
+}

@@ -1,0 +1,53 @@
+//! Aceso-rs: a Rust reproduction of *Aceso: Efficient Parallel DNN Training
+//! through Iterative Bottleneck Alleviation* (EuroSys 2024).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`model`] — operator-level DNN IR and the paper's model zoo.
+//! * [`cluster`] — device/topology model and collective cost functions.
+//! * [`config`] — parallel configuration representation (§3.1).
+//! * [`profile`] — simulated operator profiler and reusable profile DB.
+//! * [`perf`] — the analytic performance model (§3.3, Eq. 1 & 2).
+//! * [`search`] — the Aceso search: primitives, heuristics, multi-hop (§3–4).
+//! * [`baselines`] — Megatron-LM grid, Alpa-like two-level DP, pure DP,
+//!   random-primitive search.
+//! * [`runtime`] — discrete-event 1F1B execution simulator ("actual" runs).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aceso::prelude::*;
+//!
+//! // A small GPT on a 1×4-GPU simulated cluster.
+//! let model = aceso::model::zoo::gpt3_custom("demo", 4, 512, 8, 256, 8192, 64);
+//! let cluster = ClusterSpec::v100(1, 4);
+//! let db = ProfileDb::build(&model, &cluster);
+//! let searcher = AcesoSearch::new(&model, &cluster, &db, SearchOptions::default());
+//! let result = searcher.run().expect("search succeeds");
+//! println!(
+//!     "best predicted iteration time: {:.3}s over {} stages",
+//!     result.best_time,
+//!     result.best_config.stages.len()
+//! );
+//! ```
+
+pub use aceso_baselines as baselines;
+pub use aceso_cluster as cluster;
+pub use aceso_config as config;
+pub use aceso_core as search;
+pub use aceso_model as model;
+pub use aceso_perf as perf;
+pub use aceso_profile as profile;
+pub use aceso_runtime as runtime;
+pub use aceso_util as util;
+
+/// Convenient re-exports of the types most programs need.
+pub mod prelude {
+    pub use aceso_cluster::ClusterSpec;
+    pub use aceso_config::ParallelConfig;
+    pub use aceso_core::{AcesoSearch, SearchOptions};
+    pub use aceso_model::{ModelGraph, Precision};
+    pub use aceso_perf::PerfModel;
+    pub use aceso_profile::ProfileDb;
+    pub use aceso_runtime::Simulator;
+}

@@ -1,0 +1,189 @@
+//! `aceso` — command-line configuration search.
+//!
+//! ```console
+//! $ aceso --model gpt3-2.6b --gpus 8 --budget-secs 30 --plan-out plan.json
+//! ```
+//!
+//! Searches a parallel configuration for one of the paper's models on a
+//! simulated V100 cluster, prints the found configuration with predicted
+//! and simulated performance, and optionally writes the per-rank execution
+//! plan.
+
+use aceso::model::zoo::{gpt3, t5, wide_resnet, Gpt3Size, T5Size, WideResnetSize};
+use aceso::model::ModelGraph;
+use aceso::prelude::*;
+use aceso::runtime::ExecutionPlan;
+use std::time::Duration;
+
+/// Parsed command-line options.
+struct Args {
+    model: String,
+    gpus: usize,
+    budget_secs: u64,
+    stages: Option<usize>,
+    zero: bool,
+    plan_out: Option<String>,
+}
+
+const USAGE: &str = "\
+usage: aceso --model <name> [--gpus N] [--budget-secs S] [--stages P]
+             [--zero] [--plan-out FILE]
+
+models: gpt3-{0.35b,1.3b,2.6b,6.7b,13b}, t5-{0.77b,3b,6b,11b,22b},
+        wresnet-{0.5b,2b,4b,6.8b,13b}, deepnet-<layers>l
+flags:
+  --gpus N          simulated V100 count (default 8; ≤8 per node)
+  --budget-secs S   search wall-clock budget (default 30)
+  --stages P        pin the pipeline stage count (default: search 1..)
+  --zero            enable the ZeRO-1 extension primitives
+  --plan-out FILE   write the per-rank execution plan as JSON";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: String::new(),
+        gpus: 8,
+        budget_secs: 30,
+        stages: None,
+        zero: false,
+        plan_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--model" => args.model = value("--model")?,
+            "--gpus" => {
+                args.gpus = value("--gpus")?
+                    .parse()
+                    .map_err(|e| format!("--gpus: {e}"))?
+            }
+            "--budget-secs" => {
+                args.budget_secs = value("--budget-secs")?
+                    .parse()
+                    .map_err(|e| format!("--budget-secs: {e}"))?
+            }
+            "--stages" => {
+                args.stages = Some(
+                    value("--stages")?
+                        .parse()
+                        .map_err(|e| format!("--stages: {e}"))?,
+                )
+            }
+            "--zero" => args.zero = true,
+            "--plan-out" => args.plan_out = Some(value("--plan-out")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.model.is_empty() {
+        return Err("missing --model".into());
+    }
+    Ok(args)
+}
+
+fn build_model(name: &str) -> Option<ModelGraph> {
+    let gpt = |s| Some(gpt3(s));
+    let t = |s| Some(t5(s));
+    let w = |s| Some(wide_resnet(s));
+    match name {
+        "gpt3-0.35b" => gpt(Gpt3Size::S0_35b),
+        "gpt3-1.3b" => gpt(Gpt3Size::S1_3b),
+        "gpt3-2.6b" => gpt(Gpt3Size::S2_6b),
+        "gpt3-6.7b" => gpt(Gpt3Size::S6_7b),
+        "gpt3-13b" => gpt(Gpt3Size::S13b),
+        "t5-0.77b" => t(T5Size::S0_77b),
+        "t5-3b" => t(T5Size::S3b),
+        "t5-6b" => t(T5Size::S6b),
+        "t5-11b" => t(T5Size::S11b),
+        "t5-22b" => t(T5Size::S22b),
+        "wresnet-0.5b" => w(WideResnetSize::S0_5b),
+        "wresnet-2b" => w(WideResnetSize::S2b),
+        "wresnet-4b" => w(WideResnetSize::S4b),
+        "wresnet-6.8b" => w(WideResnetSize::S6_8b),
+        "wresnet-13b" => w(WideResnetSize::S13b),
+        other => {
+            let layers = other
+                .strip_prefix("deepnet-")
+                .and_then(|s| s.strip_suffix('l'))
+                .and_then(|s| s.parse::<usize>().ok())?;
+            Some(aceso::model::zoo::deepnet(layers))
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+    let Some(model) = build_model(&args.model) else {
+        eprintln!("error: unknown model `{}`\n\n{USAGE}", args.model);
+        std::process::exit(2);
+    };
+
+    let cluster = ClusterSpec::v100_gpus(args.gpus);
+    eprintln!(
+        "model {} ({} ops, {:.2} B params) on {} simulated V100-32GB",
+        model.name,
+        model.len(),
+        model.total_params() as f64 / 1e9,
+        cluster.total_gpus()
+    );
+    eprintln!("profiling operators...");
+    let db = ProfileDb::build(&model, &cluster);
+
+    let mut options = SearchOptions {
+        max_iterations: 10_000,
+        time_budget: Some(Duration::from_secs(args.budget_secs)),
+        stage_counts: args.stages.map(|p| vec![p]),
+        ..SearchOptions::default()
+    };
+    options.gen_options.enable_zero = args.zero;
+
+    eprintln!("searching ({} s budget)...", args.budget_secs);
+    let result = match AcesoSearch::new(&model, &cluster, &db, options).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "explored {} configurations in {:.1?}; best found:",
+        result.explored, result.wall_time
+    );
+    print!(
+        "{}",
+        aceso::config::describe(&result.best_config, Some(&model))
+    );
+
+    let report = Simulator::with_defaults(&model, &cluster, &db)
+        .execute(&result.best_config)
+        .expect("searched configs execute");
+    println!(
+        "predicted iteration {:.3} s | simulated {:.3} s | {:.1} samples/s | \
+         {:.1} TFLOPS/GPU | peak mem {:.1} GB ({})",
+        result.best_time,
+        report.iteration_time,
+        report.throughput,
+        report.tflops_per_gpu,
+        report.peak_memory as f64 / 1e9,
+        if report.ok() { "fits" } else { "OOM" },
+    );
+
+    if let Some(path) = args.plan_out {
+        let plan = ExecutionPlan::build(&model, &cluster, &result.best_config)
+            .expect("valid config yields a plan");
+        std::fs::write(&path, plan.to_json()).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote execution plan to {path}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Zoo-wide structural invariants: every model the paper evaluates must be
+//! well-formed and carry physically sensible cost attributes.
+
+use aceso::model::zoo::{deepnet, gpt3, t5, wide_resnet, Gpt3Size, T5Size, WideResnetSize};
+use aceso::model::{ModelGraph, Scaling};
+
+fn all_models() -> Vec<ModelGraph> {
+    let mut models: Vec<ModelGraph> = Vec::new();
+    models.extend(Gpt3Size::ALL.iter().map(|&s| gpt3(s)));
+    models.extend(T5Size::ALL.iter().map(|&s| t5(s)));
+    models.extend(WideResnetSize::ALL.iter().map(|&s| wide_resnet(s)));
+    models.push(deepnet(64));
+    models
+}
+
+#[test]
+fn every_zoo_model_validates() {
+    for m in all_models() {
+        m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+    }
+}
+
+#[test]
+fn cost_attributes_are_sensible() {
+    for m in all_models() {
+        for op in &m.ops {
+            assert!(op.flops > 0.0, "{}: {} has no flops", m.name, op.name);
+            assert!(op.output_elems > 0, "{}: {} has no output", m.name, op.name);
+            assert!(op.tp_limit >= 1);
+            for spec in &op.partitions {
+                assert!(
+                    spec.efficiency > 0.0 && spec.efficiency <= 1.0,
+                    "{}: {} bad efficiency",
+                    m.name,
+                    op.name
+                );
+                if spec.scaling == Scaling::Divided && op.params > 0 {
+                    // Divided ops must actually divide at the tp limit.
+                    assert!(
+                        op.params as f64 / f64::from(op.tp_limit.min(64)) >= 1.0,
+                        "{}: {}",
+                        m.name,
+                        op.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_flops_dominate_transformers() {
+    // Transformers are compute-dominated by their matmuls — elementwise
+    // ops must account for a small share of total FLOPs.
+    for m in [gpt3(Gpt3Size::S2_6b), t5(T5Size::S3b)] {
+        let total = m.total_flops();
+        let matmul: f64 = m
+            .ops
+            .iter()
+            .filter(|o| o.kind.compute_bound())
+            .map(|o| o.flops)
+            .sum();
+        assert!(matmul / total > 0.9, "{}: {:.3}", m.name, matmul / total);
+    }
+}
+
+#[test]
+fn per_layer_activation_matches_megatron_formula() {
+    // The known Megatron-LM footprint: a transformer layer stashes about
+    // s·h·(34 + 5·n·s/h) bytes in fp16 (with stored softmax + dropout
+    // masks). Our op-level stash accounting should land within 2×.
+    let m = gpt3(Gpt3Size::S13b);
+    let (s, h, n) = (2048u64, 5120u64, 40u64);
+    let layer_stash_elems: u64 = m
+        .ops
+        .iter()
+        .filter(|o| o.name.starts_with("layer3."))
+        .map(|o| o.stash_elems)
+        .sum();
+    let layer_bytes = layer_stash_elems * 2;
+    let formula = s * h * (34 + 5 * n * s / h);
+    let ratio = layer_bytes as f64 / formula as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "stash {layer_bytes} vs formula {formula} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn t5_decoder_cheaper_but_denser_than_encoder() {
+    let m = t5(T5Size::S3b);
+    let enc: f64 = m
+        .ops
+        .iter()
+        .filter(|o| o.name.starts_with("enc3."))
+        .map(|o| o.flops)
+        .sum();
+    let dec: f64 = m
+        .ops
+        .iter()
+        .filter(|o| o.name.starts_with("dec3."))
+        .map(|o| o.flops)
+        .sum();
+    // Decoder layer has more ops (cross-attention) but runs at 1/4 the
+    // sequence length, so fewer FLOPs per layer.
+    assert!(dec < enc);
+    let enc_ops = m.ops.iter().filter(|o| o.name.starts_with("enc3.")).count();
+    let dec_ops = m.ops.iter().filter(|o| o.name.starts_with("dec3.")).count();
+    assert!(dec_ops > enc_ops);
+}
+
+#[test]
+fn deepnet_depth_scaling_is_linear() {
+    let a = deepnet(64);
+    let b = deepnet(128);
+    assert!(b.len() > 2 * a.len() - 8);
+    assert!(b.total_params() > 18 * b.len() as u64); // non-trivial params
+    let ratio = b.total_flops() / a.total_flops();
+    assert!((1.8..2.2).contains(&ratio), "flops ratio {ratio}");
+}
+
+#[test]
+fn wresnet_flops_concentrate_early_params_late() {
+    let m = wide_resnet(WideResnetSize::S4b);
+    let half = m.len() / 2;
+    let fl_early: f64 = m.ops[..half].iter().map(|o| o.flops).sum();
+    let fl_late: f64 = m.ops[half..].iter().map(|o| o.flops).sum();
+    let p_early: u64 = m.ops[..half].iter().map(|o| o.params).sum();
+    let p_late: u64 = m.ops[half..].iter().map(|o| o.params).sum();
+    // The classic CNN imbalance the paper exploits: compute early,
+    // parameters late.
+    assert!(fl_early > fl_late * 0.8);
+    assert!(p_late > p_early);
+}
