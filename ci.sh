@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI gate: formatting, lints (warnings are errors), the tier-1
+# build + test cycle in both invariant modes, and an audit smoke run
+# that must come back with zero findings.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --features aceso-core/debug-invariants -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> tests with debug-invariants enabled"
+cargo test -q --workspace --features aceso-core/debug-invariants
+
+echo "==> audit smoke run"
+cargo run --release --quiet --bin aceso -- audit --smoke
+
+echo "CI OK"

@@ -1,0 +1,146 @@
+//! The audit corpus: model-zoo × cluster-preset × configuration samples.
+//!
+//! Every analyzer sweeps the same corpus, so one invocation proves the
+//! invariants over a representative slice of the search space rather than
+//! a single hand-picked configuration. The corpus is fully deterministic.
+
+use aceso_cluster::ClusterSpec;
+use aceso_config::{balanced_init, ParallelConfig};
+use aceso_model::{zoo, ModelGraph};
+use aceso_profile::ProfileDb;
+
+/// One (model, cluster) pair plus the starting configurations to audit.
+pub struct CorpusSample {
+    /// The model.
+    pub model: ModelGraph,
+    /// The cluster preset.
+    pub cluster: ClusterSpec,
+    /// Profile database for the pair (built once, shared by analyzers).
+    pub db: ProfileDb,
+    /// Stable sample label, e.g. `gpt3-0.35b/v100-1x8`.
+    pub label: String,
+    /// Valid starting configurations (balanced inits plus variants).
+    pub configs: Vec<ParallelConfig>,
+}
+
+/// Cluster presets swept by the audit.
+fn cluster_presets() -> Vec<(ClusterSpec, &'static str)> {
+    vec![
+        (ClusterSpec::v100(1, 4), "v100-1x4"),
+        (ClusterSpec::v100(1, 8), "v100-1x8"),
+    ]
+}
+
+/// Model-zoo entries swept by the audit. `smoke` keeps only a small custom
+/// model so the CI smoke run finishes in seconds.
+fn zoo_models(smoke: bool) -> Vec<ModelGraph> {
+    if smoke {
+        return vec![zoo::gpt3_custom("audit-gpt", 4, 512, 8, 256, 8192, 64)];
+    }
+    vec![
+        zoo::gpt3(zoo::Gpt3Size::S0_35b),
+        zoo::t5(zoo::T5Size::S0_77b),
+        zoo::wide_resnet(zoo::WideResnetSize::S0_5b),
+        zoo::deepnet(12),
+    ]
+}
+
+/// Deterministic configuration variants of one balanced init: microbatch
+/// scaled up, everything recomputed, and ZeRO on every shardable op. Only
+/// variants that validate are kept.
+fn variants(
+    model: &ModelGraph,
+    cluster: &ClusterSpec,
+    base: &ParallelConfig,
+) -> Vec<ParallelConfig> {
+    let mut out = vec![base.clone()];
+
+    let mut bigger_mb = base.clone();
+    bigger_mb.microbatch *= 2;
+    out.push(bigger_mb);
+
+    let mut recomputed = base.clone();
+    for s in &mut recomputed.stages {
+        for o in &mut s.ops {
+            o.recompute = true;
+        }
+    }
+    out.push(recomputed);
+
+    let mut zeroed = base.clone();
+    let mut any = false;
+    for s in &mut zeroed.stages {
+        for o in &mut s.ops {
+            if o.dp > 1 {
+                o.zero = true;
+                any = true;
+            }
+        }
+    }
+    if any {
+        out.push(zeroed);
+    }
+
+    out.retain(|c| aceso_config::validate::validate(c, model, cluster).is_ok());
+    out
+}
+
+/// Builds the audit corpus. Full mode sweeps 4 zoo models × 2 cluster
+/// presets; smoke mode keeps one small model for fast CI checks.
+pub fn corpus(smoke: bool) -> Vec<CorpusSample> {
+    let mut samples = Vec::new();
+    for model in zoo_models(smoke) {
+        for (cluster, cname) in cluster_presets() {
+            let stage_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 4] };
+            let mut configs = Vec::new();
+            for &p in stage_counts {
+                if p > cluster.total_gpus() || p > model.len() / 2 {
+                    continue;
+                }
+                if let Ok(base) = balanced_init(&model, &cluster, p) {
+                    configs.extend(variants(&model, &cluster, &base));
+                }
+            }
+            if configs.is_empty() {
+                continue;
+            }
+            let db = ProfileDb::build(&model, &cluster);
+            samples.push(CorpusSample {
+                label: format!("{}/{}", model.name, cname),
+                model: model.clone(),
+                cluster,
+                db,
+                configs,
+            });
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_corpus_is_small_and_valid() {
+        let samples = corpus(true);
+        assert_eq!(samples.len(), 2); // 1 model × 2 cluster presets
+        for s in &samples {
+            assert!(!s.configs.is_empty());
+            for c in &s.configs {
+                assert!(aceso_config::validate::validate(c, &s.model, &s.cluster).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn full_corpus_covers_zoo_and_presets() {
+        // 4 zoo models × 2 presets (model construction only — no profile
+        // builds beyond what the samples need).
+        let samples = corpus(false);
+        assert!(samples.len() >= 6, "got {} samples", samples.len());
+        let labels: Vec<&str> = samples.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.contains("v100-1x4")));
+        assert!(labels.iter().any(|l| l.contains("v100-1x8")));
+    }
+}

@@ -1,0 +1,91 @@
+//! # aceso-audit — static invariant analysis for the Aceso search stack
+//!
+//! Four analyzers prove, over a deterministic corpus of (model zoo ×
+//! cluster preset × configuration) samples, that the moving parts the
+//! search relies on are sound:
+//!
+//! 1. **Signature conformance** ([`signature`]): every primitive's
+//!    observed effect on (compute, communication, memory) respects its
+//!    declared Table-1 arrows.
+//! 2. **Transform validity** ([`transforms`]): every `generate_with`
+//!    candidate passes full validation, conserves GPUs, and is a real,
+//!    unique move.
+//! 3. **Perf-model consistency** ([`perf_check`]): stage-local estimates
+//!    reassemble into the full estimate; all Eq. 1/Eq. 2 roll-up
+//!    identities hold.
+//! 4. **Search-trace replay** ([`trace_replay`]): monotone best score,
+//!    hop-depth bounds, no duplicate acceptances, and every accepted
+//!    configuration re-validates.
+//!
+//! The entry point is [`run`], which sweeps the corpus and returns a
+//! merged [`AuditReport`]; the `aceso audit` subcommand and the bench
+//! `audit` binary are thin wrappers over it.
+
+pub mod corpus;
+pub mod perf_check;
+pub mod report;
+pub mod signature;
+pub mod trace_replay;
+pub mod transforms;
+
+pub use corpus::{corpus, CorpusSample};
+pub use report::{AuditFinding, AuditReport, Severity};
+
+/// Audit configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditOptions {
+    /// Audit only a small custom model (CI smoke mode) instead of the
+    /// full model zoo.
+    pub smoke: bool,
+    /// Relative tolerance for floating-point comparisons.
+    pub epsilon: f64,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        Self {
+            smoke: false,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// Runs one analyzer pass over one corpus sample.
+pub fn audit_sample(sample: &CorpusSample, opts: &AuditOptions, report: &mut AuditReport) {
+    report.samples += 1;
+    report.configs_checked += sample.configs.len();
+    signature::audit_signatures(sample, opts.epsilon, report);
+    transforms::audit_transforms(sample, report);
+    perf_check::audit_perf_model(sample, opts.epsilon, report);
+    trace_replay::audit_search(sample, opts.smoke, opts.epsilon, report);
+}
+
+/// Runs all four analyzers over the full corpus and merges the findings.
+pub fn run(opts: &AuditOptions) -> AuditReport {
+    let mut report = AuditReport::default();
+    for sample in corpus(opts.smoke) {
+        audit_sample(&sample, opts, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_audit_is_clean() {
+        let report = run(&AuditOptions {
+            smoke: true,
+            ..AuditOptions::default()
+        });
+        assert!(report.samples >= 2);
+        assert!(report.configs_checked >= 2);
+        assert!(report.checks_run > 0);
+        assert!(
+            report.clean(),
+            "smoke audit found violations:\n{}",
+            report.render()
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Analyzer 3: performance-model internal consistency.
+//!
+//! The search relies on `evaluate_unchecked` while the runtime simulator
+//! composes raw `stage_breakdown` ingredients; the two must agree. This
+//! analyzer independently reassembles every full estimate from its
+//! stage-local pieces (breakdown + boundary p2p + Eq. 1/Eq. 2 roll-ups)
+//! and flags any divergence beyond epsilon, plus any broken arithmetic
+//! identity inside the estimate itself.
+
+use crate::corpus::CorpusSample;
+use crate::report::{AuditFinding, AuditReport, Severity};
+use aceso_perf::PerfModel;
+
+fn close(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps * a.abs().max(b.abs()) + eps
+}
+
+/// Runs the perf-model consistency analyzer over one corpus sample.
+pub fn audit_perf_model(sample: &CorpusSample, eps: f64, report: &mut AuditReport) {
+    let pm = PerfModel::new(&sample.model, &sample.cluster, &sample.db);
+    for (ci, config) in sample.configs.iter().enumerate() {
+        let est = pm.evaluate_unchecked(config);
+        let p = config.num_stages();
+        let loc = |stage: usize| format!("{}#cfg{} stage {}", sample.label, ci, stage);
+        let fp = config.semantic_hash();
+        let mk = |rule: &'static str, location: String, message: String| AuditFinding {
+            rule,
+            severity: Severity::Error,
+            location,
+            message,
+            fingerprint: fp,
+        };
+
+        // Reassemble each stage from its stage-local breakdown plus the
+        // boundary p2p terms, exactly as the full estimate composes them.
+        for i in 0..p {
+            let sb = pm.stage_breakdown(config, i);
+            let range = config.device_range(i);
+            let mut comm_fwd = sb.comm_fwd;
+            let mut comm_bwd = sb.comm_bwd;
+            if i + 1 < p {
+                let next = config.device_range(i + 1);
+                let t = pm.boundary_p2p(config, i, range.end() - 1, next.start);
+                comm_fwd += t;
+                comm_bwd += t;
+            }
+            if i > 0 {
+                let prev = config.device_range(i - 1);
+                let t = pm.boundary_p2p(config, i - 1, prev.end() - 1, range.start);
+                comm_fwd += t;
+                comm_bwd += t;
+            }
+            let s = &est.stages[i];
+            let pairs = [
+                ("comp_fwd", sb.comp_fwd, s.comp_fwd),
+                ("comp_bwd", sb.comp_bwd, s.comp_bwd),
+                ("comm_fwd", comm_fwd, s.comm_fwd),
+                ("comm_bwd", comm_bwd, s.comm_bwd),
+                ("dp_sync", sb.dp_sync, s.dp_sync),
+                ("mem_params", sb.mem_params as f64, s.mem_params as f64),
+                ("mem_opt", sb.mem_opt as f64, s.mem_opt as f64),
+                (
+                    "mem_act_per_mb",
+                    sb.mem_act_per_mb as f64,
+                    s.mem_act_per_mb as f64,
+                ),
+                (
+                    "mem_reserved",
+                    sb.mem_reserved as f64,
+                    s.mem_reserved as f64,
+                ),
+            ];
+            report.tick(pairs.len());
+            for (name, local, full) in pairs {
+                if !close(local, full, eps) {
+                    report.push(mk(
+                        "PERF-STAGE",
+                        loc(i),
+                        format!("stage-local {name} {local:.6e} vs full estimate {full:.6e}"),
+                    ));
+                }
+            }
+
+            // Eq. 1 identities inside the full estimate.
+            report.tick(2);
+            if s.in_flight != p - i {
+                report.push(mk(
+                    "PERF-ROLLUP",
+                    loc(i),
+                    format!("in_flight {} != p - i = {}", s.in_flight, p - i),
+                ));
+            }
+            let mem =
+                s.mem_params + s.mem_opt + s.mem_act_per_mb * s.in_flight as u64 + s.mem_reserved;
+            if mem != s.mem_total {
+                report.push(mk(
+                    "PERF-ROLLUP",
+                    loc(i),
+                    format!("mem_total {} != components sum {}", s.mem_total, mem),
+                ));
+            }
+        }
+
+        // Eq. 2 roll-up: stage_time = warmup + N·steady + cooldown.
+        let n_mb = est.num_microbatches as f64;
+        let warmup: f64 = est.stages.iter().map(|s| s.comp_fwd + s.comm_fwd).sum();
+        let cooldown: f64 = est.stages.iter().map(|s| s.comp_bwd + s.comm_bwd).sum();
+        for (i, s) in est.stages.iter().enumerate() {
+            report.tick(1);
+            let want = warmup + n_mb * s.steady_per_mb() + cooldown;
+            if !close(s.stage_time, want, eps) {
+                report.push(mk(
+                    "PERF-ROLLUP",
+                    loc(i),
+                    format!("stage_time {:.6e} != Eq.2 roll-up {want:.6e}", s.stage_time),
+                ));
+            }
+        }
+
+        // Whole-configuration roll-ups.
+        let whole = format!("{}#cfg{}", sample.label, ci);
+        report.tick(6);
+        let max_time = est
+            .stages
+            .iter()
+            .map(|s| s.stage_time + s.dp_sync)
+            .fold(0.0f64, f64::max);
+        if !close(est.iteration_time, max_time, eps) {
+            report.push(mk(
+                "PERF-ROLLUP",
+                whole.clone(),
+                format!(
+                    "iteration_time {:.6e} != max stage time {max_time:.6e}",
+                    est.iteration_time
+                ),
+            ));
+        }
+        let slow = &est.stages[est.slowest_stage];
+        if !close(slow.stage_time + slow.dp_sync, max_time, eps) {
+            report.push(mk(
+                "PERF-ROLLUP",
+                whole.clone(),
+                "slowest_stage does not achieve the iteration time".into(),
+            ));
+        }
+        let max_mem = est.stages.iter().map(|s| s.mem_total).max().unwrap_or(0);
+        if est.max_memory != max_mem {
+            report.push(mk(
+                "PERF-ROLLUP",
+                whole.clone(),
+                format!(
+                    "max_memory {} != max stage memory {max_mem}",
+                    est.max_memory
+                ),
+            ));
+        }
+        if est.stages[est.max_memory_stage].mem_total != max_mem {
+            report.push(mk(
+                "PERF-ROLLUP",
+                whole.clone(),
+                "max_memory_stage does not achieve max_memory".into(),
+            ));
+        }
+        if est.num_microbatches * config.microbatch != sample.model.global_batch {
+            report.push(mk(
+                "PERF-ROLLUP",
+                whole.clone(),
+                format!(
+                    "num_microbatches {} x microbatch {} != global batch {}",
+                    est.num_microbatches, config.microbatch, sample.model.global_batch
+                ),
+            ));
+        }
+        let score = est.score();
+        if !(score.is_finite() && score >= 0.0 && score >= est.iteration_time - eps) {
+            report.push(mk(
+                "PERF-FINITE",
+                whole,
+                format!("score {score:.6e} is not a finite OOM-penalised time"),
+            ));
+        }
+    }
+}

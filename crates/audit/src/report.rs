@@ -1,0 +1,200 @@
+//! Audit findings and reports.
+//!
+//! Every analyzer emits structured [`AuditFinding`]s into an
+//! [`AuditReport`]; the report renders both a human-readable summary and a
+//! machine-readable JSON document with per-rule counts.
+
+use aceso_util::json::{arr, obj, Value};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A proven invariant violation — the audit fails.
+    Error,
+    /// A suspicious observation that needs human judgement.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One invariant violation found by an analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditFinding {
+    /// Stable rule identifier, e.g. `SIG-DIR` or `TRACE-MONO`.
+    pub rule: &'static str,
+    /// Severity of the violation.
+    pub severity: Severity,
+    /// Where it happened: `model/cluster/config` plus stage or primitive.
+    pub location: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `semantic_hash` of the offending configuration (0 when the finding
+    /// is not tied to one configuration).
+    pub fingerprint: u64,
+}
+
+impl AuditFinding {
+    fn to_json(&self) -> Value {
+        obj([
+            ("rule", Value::Str(self.rule.into())),
+            ("severity", Value::Str(self.severity.name().into())),
+            ("location", Value::Str(self.location.clone())),
+            ("message", Value::Str(self.message.clone())),
+            ("fingerprint", Value::UInt(self.fingerprint)),
+        ])
+    }
+}
+
+/// Aggregated result of an audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// All findings, in analyzer order.
+    pub findings: Vec<AuditFinding>,
+    /// Total individual checks evaluated (a measure of coverage).
+    pub checks_run: usize,
+    /// Corpus samples swept.
+    pub samples: usize,
+    /// Configurations examined across all analyzers.
+    pub configs_checked: usize,
+}
+
+impl AuditReport {
+    /// Records one finding.
+    pub fn push(&mut self, finding: AuditFinding) {
+        self.findings.push(finding);
+    }
+
+    /// Counts one evaluated check (call once per assertion, found or not).
+    pub fn tick(&mut self, n: usize) {
+        self.checks_run += n;
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.findings.extend(other.findings);
+        self.checks_run += other.checks_run;
+        self.samples += other.samples;
+        self.configs_checked += other.configs_checked;
+    }
+
+    /// Whether the audit passed (no findings at all).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings per rule id, sorted by rule.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for f in &self.findings {
+            *map.entry(f.rule).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let counts = Value::Object(
+            self.rule_counts()
+                .into_iter()
+                .map(|(rule, n)| (rule.to_string(), Value::UInt(n as u64)))
+                .collect(),
+        );
+        obj([
+            ("clean", Value::Bool(self.clean())),
+            ("samples", Value::UInt(self.samples as u64)),
+            ("configs_checked", Value::UInt(self.configs_checked as u64)),
+            ("checks_run", Value::UInt(self.checks_run as u64)),
+            ("rule_counts", counts),
+            ("findings", arr(self.findings.iter().map(|f| f.to_json()))),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{:<7} {:<12} {}: {}\n",
+                f.severity.name(),
+                f.rule,
+                f.location,
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "audit: {} sample(s), {} config(s), {} check(s) run — ",
+            self.samples, self.configs_checked, self.checks_run
+        ));
+        if self.clean() {
+            out.push_str("no findings\n");
+        } else {
+            out.push_str(&format!("{} finding(s):\n", self.findings.len()));
+            for (rule, n) in self.rule_counts() {
+                out.push_str(&format!("  {rule:<12} {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str) -> AuditFinding {
+        AuditFinding {
+            rule,
+            severity: Severity::Error,
+            location: "gpt3/v100/p2".into(),
+            message: "broken".into(),
+            fingerprint: 42,
+        }
+    }
+
+    #[test]
+    fn clean_report() {
+        let mut r = AuditReport::default();
+        r.tick(10);
+        r.samples = 2;
+        assert!(r.clean());
+        assert!(r.render().contains("no findings"));
+        assert!(r.to_json().contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn rule_counts_aggregate() {
+        let mut r = AuditReport::default();
+        r.push(finding("SIG-DIR"));
+        r.push(finding("SIG-DIR"));
+        r.push(finding("TRACE-MONO"));
+        assert_eq!(r.rule_counts(), vec![("SIG-DIR", 2), ("TRACE-MONO", 1)]);
+        assert!(!r.clean());
+        let json = r.to_json();
+        assert!(json.contains("\"SIG-DIR\": 2"));
+        assert!(json.contains("\"fingerprint\": 42"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AuditReport::default();
+        a.tick(3);
+        a.samples = 1;
+        let mut b = AuditReport::default();
+        b.push(finding("XFORM-VALID"));
+        b.tick(2);
+        b.samples = 1;
+        a.merge(b);
+        assert_eq!(a.checks_run, 5);
+        assert_eq!(a.samples, 2);
+        assert_eq!(a.findings.len(), 1);
+    }
+}

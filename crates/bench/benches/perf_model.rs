@@ -1,49 +1,59 @@
-//! Criterion micro-benchmarks of the performance model — the search's
-//! inner loop. The paper's search evaluates hundreds of thousands of
-//! configurations in its 200 s budget, so evaluation must stay in the
-//! tens-of-microseconds range.
+//! Micro-benchmarks of the performance model — the search's inner loop.
+//! The paper's search evaluates hundreds of thousands of configurations in
+//! its 200 s budget, so evaluation must stay in the tens-of-microseconds
+//! range.
+//!
+//! Plain `harness = false` binaries: each case is warmed up, then timed
+//! over a fixed iteration count, reporting mean ns/iter.
 
 use aceso_cluster::ClusterSpec;
 use aceso_config::balanced_init;
 use aceso_perf::PerfModel;
 use aceso_profile::ProfileDb;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_evaluate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("perf_model_evaluate");
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10) {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_nanos() / u128::from(iters.max(1));
+    println!("{name:<40} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+fn main() {
     for (label, model, gpus) in [
         (
-            "gpt3-small-68ops",
+            "evaluate/gpt3-small-68ops",
             aceso_model::zoo::gpt3_custom("b1", 8, 1024, 16, 1024, 32000, 128),
             4usize,
         ),
         (
-            "gpt3-13b-324ops",
+            "evaluate/gpt3-13b-324ops",
             aceso_model::zoo::gpt3(aceso_model::zoo::Gpt3Size::S13b),
             32,
         ),
-        ("deepnet-256l-2052ops", aceso_model::zoo::deepnet(256), 8),
+        (
+            "evaluate/deepnet-256l-2052ops",
+            aceso_model::zoo::deepnet(256),
+            8,
+        ),
     ] {
         let cluster = ClusterSpec::v100_gpus(gpus);
         let db = ProfileDb::build(&model, &cluster);
         let pm = PerfModel::new(&model, &cluster, &db);
         let cfg = balanced_init(&model, &cluster, gpus.min(4)).expect("init");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
-            b.iter(|| black_box(pm.evaluate_unchecked(black_box(cfg))));
-        });
+        bench(label, 200, || pm.evaluate_unchecked(black_box(&cfg)));
     }
-    group.finish();
-}
 
-fn bench_hashing(c: &mut Criterion) {
     let model = aceso_model::zoo::gpt3(aceso_model::zoo::Gpt3Size::S13b);
     let cluster = ClusterSpec::v100_gpus(32);
     let cfg = balanced_init(&model, &cluster, 8).expect("init");
-    c.bench_function("semantic_hash_324ops", |b| {
-        b.iter(|| black_box(black_box(&cfg).semantic_hash()));
+    bench("semantic_hash_324ops", 10_000, || {
+        black_box(&cfg).semantic_hash()
     });
 }
-
-criterion_group!(benches, bench_evaluate, bench_hashing);
-criterion_main!(benches);

@@ -1,13 +1,28 @@
-//! Criterion benchmarks of search building blocks: candidate generation,
-//! one multi-hop iteration, and the fine-tuning pass.
+//! Benchmarks of search building blocks: candidate generation, bottleneck
+//! ranking, the fine-tuning pass, and a short end-to-end search.
+//!
+//! Plain `harness = false` binaries: each case is warmed up, then timed
+//! over a fixed iteration count, reporting mean ns/iter.
 
 use aceso_cluster::ClusterSpec;
 use aceso_config::balanced_init;
 use aceso_core::{finetune, primitives, ranked_bottlenecks, AcesoSearch, SearchOptions};
 use aceso_perf::PerfModel;
 use aceso_profile::ProfileDb;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10) {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_nanos() / u128::from(iters.max(1));
+    println!("{name:<40} {per_iter:>12} ns/iter ({iters} iters)");
+}
 
 fn setup() -> (aceso_model::ModelGraph, ClusterSpec) {
     (
@@ -16,78 +31,48 @@ fn setup() -> (aceso_model::ModelGraph, ClusterSpec) {
     )
 }
 
-fn bench_candidate_generation(c: &mut Criterion) {
+fn main() {
     let (model, cluster) = setup();
     let db = ProfileDb::build(&model, &cluster);
     let pm = PerfModel::new(&model, &cluster, &db);
     let cfg = balanced_init(&model, &cluster, 4).expect("init");
     let est = pm.evaluate_unchecked(&cfg);
-    c.bench_function("generate_all_primitives_2.6b", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for prim in primitives::Primitive::ALL {
-                for res in primitives::Resource::ALL {
-                    n += primitives::generate(&pm, &cfg, &est, prim, 0, res).len();
-                }
+
+    bench("generate_all_primitives_2.6b", 50, || {
+        let mut n = 0usize;
+        for prim in primitives::Primitive::ALL {
+            for res in primitives::Resource::ALL {
+                n += primitives::generate(&pm, &cfg, &est, prim, 0, res).len();
             }
-            black_box(n)
-        });
+        }
+        n
     });
-}
 
-fn bench_bottleneck_ranking(c: &mut Criterion) {
-    let (model, cluster) = setup();
-    let db = ProfileDb::build(&model, &cluster);
-    let pm = PerfModel::new(&model, &cluster, &db);
-    let cfg = balanced_init(&model, &cluster, 4).expect("init");
-    let est = pm.evaluate_unchecked(&cfg);
-    c.bench_function("ranked_bottlenecks_4stages", |b| {
-        b.iter(|| black_box(ranked_bottlenecks(black_box(&est))));
+    bench("ranked_bottlenecks_4stages", 10_000, || {
+        ranked_bottlenecks(black_box(&est))
     });
-}
 
-fn bench_fine_tune(c: &mut Criterion) {
-    let (model, cluster) = setup();
-    let db = ProfileDb::build(&model, &cluster);
-    let pm = PerfModel::new(&model, &cluster, &db);
-    let cfg = balanced_init(&model, &cluster, 4).expect("init");
-    c.bench_function("fine_tune_pass_2.6b", |b| {
-        b.iter(|| black_box(finetune::fine_tune(&pm, cfg.clone())));
+    bench("fine_tune_pass_2.6b", 20, || {
+        finetune::fine_tune(&pm, cfg.clone())
     });
-}
 
-fn bench_short_search(c: &mut Criterion) {
     let model = aceso_model::zoo::gpt3_custom("b", 8, 1024, 16, 1024, 32000, 128);
     let cluster = ClusterSpec::v100_gpus(4);
     let db = ProfileDb::build(&model, &cluster);
-    let mut group = c.benchmark_group("search_iterations");
-    group.sample_size(10);
-    group.bench_function("8_iterations_small_gpt", |b| {
-        b.iter(|| {
-            let r = AcesoSearch::new(
-                &model,
-                &cluster,
-                &db,
-                SearchOptions {
-                    max_iterations: 8,
-                    parallel: false,
-                    stage_counts: Some(vec![2]),
-                    ..SearchOptions::default()
-                },
-            )
-            .run()
-            .expect("runs");
-            black_box(r.explored)
-        });
+    bench("search_8_iterations_small_gpt", 5, || {
+        AcesoSearch::new(
+            &model,
+            &cluster,
+            &db,
+            SearchOptions {
+                max_iterations: 8,
+                parallel: false,
+                stage_counts: Some(vec![2]),
+                ..SearchOptions::default()
+            },
+        )
+        .run()
+        .expect("runs")
+        .explored
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_candidate_generation,
-    bench_bottleneck_ranking,
-    bench_fine_tune,
-    bench_short_search
-);
-criterion_main!(benches);

@@ -1,23 +1,37 @@
-//! Criterion benchmarks of the runtime simulator and profile database.
+//! Benchmarks of the runtime simulator and profile database.
+//!
+//! Plain `harness = false` binaries: each case is warmed up, then timed
+//! over a fixed iteration count, reporting mean ns/iter.
 
 use aceso_cluster::ClusterSpec;
 use aceso_config::balanced_init;
 use aceso_profile::ProfileDb;
 use aceso_runtime::Simulator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_execute(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator_execute");
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10) {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_nanos() / u128::from(iters.max(1));
+    println!("{name:<40} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+fn main() {
     for (label, model, gpus, stages) in [
         (
-            "gpt3-2.6b-8gpu",
+            "execute/gpt3-2.6b-8gpu",
             aceso_model::zoo::gpt3(aceso_model::zoo::Gpt3Size::S2_6b),
             8usize,
             4usize,
         ),
         (
-            "wresnet-2b-4gpu",
+            "execute/wresnet-2b-4gpu",
             aceso_model::zoo::wide_resnet(aceso_model::zoo::WideResnetSize::S2b),
             4,
             2,
@@ -27,36 +41,19 @@ fn bench_execute(c: &mut Criterion) {
         let db = ProfileDb::build(&model, &cluster);
         let cfg = balanced_init(&model, &cluster, stages).expect("init");
         let sim = Simulator::with_defaults(&model, &cluster, &db);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
-            b.iter(|| black_box(sim.execute(black_box(cfg)).expect("runs")));
-        });
+        bench(label, 100, || sim.execute(black_box(&cfg)).expect("runs"));
     }
-    group.finish();
-}
 
-fn bench_profile_build(c: &mut Criterion) {
     let model = aceso_model::zoo::gpt3(aceso_model::zoo::Gpt3Size::S13b);
     let cluster = ClusterSpec::v100_gpus(32);
-    c.bench_function("profile_db_build_13b", |b| {
-        b.iter(|| black_box(ProfileDb::build(&model, &cluster).len()));
+    bench("profile_db_build_13b", 10, || {
+        ProfileDb::build(&model, &cluster).len()
     });
-}
 
-fn bench_profile_lookup(c: &mut Criterion) {
-    let model = aceso_model::zoo::gpt3(aceso_model::zoo::Gpt3Size::S13b);
-    let cluster = ClusterSpec::v100_gpus(32);
     let db = ProfileDb::build(&model, &cluster);
     let op = &model.ops[10];
     let sig = ProfileDb::op_signature(op);
-    c.bench_function("profile_lookup_hit", |b| {
-        b.iter(|| black_box(db.op_fwd_time_sig(sig, op, 2, 0, 4)));
+    bench("profile_lookup_hit", 100_000, || {
+        db.op_fwd_time_sig(sig, op, 2, 0, 4)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_execute,
-    bench_profile_build,
-    bench_profile_lookup
-);
-criterion_main!(benches);

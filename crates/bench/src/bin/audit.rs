@@ -1,0 +1,73 @@
+//! Full invariant audit over the model zoo (the CI-facing twin of
+//! `aceso audit`): sweeps every corpus sample through all four analyzers,
+//! prints per-sample progress and the merged human-readable report, and
+//! optionally writes the JSON report. Exits non-zero on any finding.
+//!
+//! ```console
+//! $ cargo run --release -p aceso-bench --bin audit -- [--smoke] [--json FILE]
+//! ```
+
+use aceso_audit::{audit_sample, corpus, AuditOptions, AuditReport};
+use std::time::Instant;
+
+fn main() {
+    let mut opts = AuditOptions::default();
+    let mut json_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--json" => match it.next() {
+                Some(path) => json_out = Some(path),
+                None => {
+                    eprintln!("error: missing value for --json");
+                    std::process::exit(2);
+                }
+            },
+            "--epsilon" => {
+                opts.epsilon = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --epsilon needs a float value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                eprintln!("usage: audit [--smoke] [--json FILE] [--epsilon E]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let samples = corpus(opts.smoke);
+    eprintln!(
+        "audit corpus: {} samples ({} mode), built in {:.1?}",
+        samples.len(),
+        if opts.smoke { "smoke" } else { "full" },
+        t0.elapsed()
+    );
+
+    let mut report = AuditReport::default();
+    for sample in &samples {
+        let t = Instant::now();
+        let before = report.findings.len();
+        audit_sample(sample, &opts, &mut report);
+        eprintln!(
+            "  {:<28} {} configs, {} findings, {:.1?}",
+            sample.label,
+            sample.configs.len(),
+            report.findings.len() - before,
+            t.elapsed()
+        );
+    }
+
+    print!("{}", report.render());
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote JSON report to {path}");
+    }
+    std::process::exit(if report.clean() { 0 } else { 1 });
+}

@@ -17,7 +17,7 @@ use aceso_core::{AcesoSearch, SearchOptions, SearchResult};
 use aceso_model::ModelGraph;
 use aceso_profile::ProfileDb;
 use aceso_runtime::{SimReport, Simulator};
-use serde::{Deserialize, Serialize};
+use aceso_util::json::{obj, FromJson, JsonError, ToJson, Value};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -134,7 +134,7 @@ pub fn write_csv(name: &str, table: &aceso_util::table::Table) {
 }
 
 /// One Exp#1 measurement row, persisted for Exp#2/8/9 and Tables 3–5.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Exp1Row {
     /// Model family (`gpt3`, `t5`, `wresnet`).
     pub family: String,
@@ -166,14 +166,53 @@ pub struct Exp1Row {
     pub actual_mem: u64,
 }
 
+impl ToJson for Exp1Row {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("family", Value::Str(self.family.clone())),
+            ("model", Value::Str(self.model.clone())),
+            ("gpus", Value::UInt(self.gpus as u64)),
+            ("system", Value::Str(self.system.clone())),
+            ("iteration_time", Value::Float(self.iteration_time)),
+            ("throughput", Value::Float(self.throughput)),
+            ("tflops", Value::Float(self.tflops)),
+            ("search_wall", Value::Float(self.search_wall)),
+            ("search_modeled", Value::Float(self.search_modeled)),
+            ("explored", Value::UInt(self.explored as u64)),
+            ("config", self.config.to_json_value()),
+            ("predicted_time", Value::Float(self.predicted_time)),
+            ("predicted_mem", Value::UInt(self.predicted_mem)),
+            ("actual_mem", Value::UInt(self.actual_mem)),
+        ])
+    }
+}
+
+impl FromJson for Exp1Row {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            family: v.field("family")?.as_str()?.to_string(),
+            model: v.field("model")?.as_str()?.to_string(),
+            gpus: v.field("gpus")?.as_usize()?,
+            system: v.field("system")?.as_str()?.to_string(),
+            iteration_time: v.field("iteration_time")?.as_f64()?,
+            throughput: v.field("throughput")?.as_f64()?,
+            tflops: v.field("tflops")?.as_f64()?,
+            search_wall: v.field("search_wall")?.as_f64()?,
+            search_modeled: v.field("search_modeled")?.as_f64()?,
+            explored: v.field("explored")?.as_usize()?,
+            config: ParallelConfig::from_json_value(v.field("config")?)?,
+            predicted_time: v.field("predicted_time")?.as_f64()?,
+            predicted_mem: v.field("predicted_mem")?.as_u64()?,
+            actual_mem: v.field("actual_mem")?.as_u64()?,
+        })
+    }
+}
+
 /// Persists Exp#1 rows as JSON.
 pub fn save_exp1(rows: &[Exp1Row]) {
     let path = results_dir().join("exp1.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(rows).expect("serialises"),
-    )
-    .expect("exp1.json writes");
+    let doc = Value::Array(rows.iter().map(ToJson::to_json_value).collect());
+    std::fs::write(&path, doc.to_string_pretty()).expect("exp1.json writes");
     println!("[saved {}]", path.display());
 }
 
@@ -181,7 +220,13 @@ pub fn save_exp1(rows: &[Exp1Row]) {
 pub fn load_exp1() -> Option<Vec<Exp1Row>> {
     let path = results_dir().join("exp1.json");
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    let doc = Value::parse(&text).ok()?;
+    doc.as_array()
+        .ok()?
+        .iter()
+        .map(Exp1Row::from_json_value)
+        .collect::<Result<Vec<_>, _>>()
+        .ok()
 }
 
 /// The Exp#1 (model size, GPU count) ladder from §5.1.

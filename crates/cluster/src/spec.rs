@@ -1,9 +1,9 @@
 //! Device and cluster specifications.
 
-use serde::{Deserialize, Serialize};
+use aceso_util::json::{obj, FromJson, JsonError, ToJson, Value};
 
 /// Compute/memory characteristics of one accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Device name, e.g. `V100-32GB`.
     pub name: String,
@@ -34,7 +34,7 @@ impl DeviceSpec {
 }
 
 /// A homogeneous multi-node GPU cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Per-device characteristics.
     pub device: DeviceSpec,
@@ -93,6 +93,60 @@ impl ClusterSpec {
     /// Node index that hosts a global GPU id.
     pub fn node_of(&self, gpu: usize) -> usize {
         gpu / self.gpus_per_node
+    }
+}
+
+impl ToJson for DeviceSpec {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("name", Value::Str(self.name.clone())),
+            ("peak_fp16_flops", Value::Float(self.peak_fp16_flops)),
+            ("peak_fp32_flops", Value::Float(self.peak_fp32_flops)),
+            ("mem_bytes", Value::UInt(self.mem_bytes)),
+            ("mem_bandwidth", Value::Float(self.mem_bandwidth)),
+            ("kernel_overhead", Value::Float(self.kernel_overhead)),
+        ])
+    }
+}
+
+impl FromJson for DeviceSpec {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: v.field("name")?.as_str()?.to_string(),
+            peak_fp16_flops: v.field("peak_fp16_flops")?.as_f64()?,
+            peak_fp32_flops: v.field("peak_fp32_flops")?.as_f64()?,
+            mem_bytes: v.field("mem_bytes")?.as_u64()?,
+            mem_bandwidth: v.field("mem_bandwidth")?.as_f64()?,
+            kernel_overhead: v.field("kernel_overhead")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for ClusterSpec {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("device", self.device.to_json_value()),
+            ("nodes", Value::UInt(self.nodes as u64)),
+            ("gpus_per_node", Value::UInt(self.gpus_per_node as u64)),
+            ("nvlink_bw", Value::Float(self.nvlink_bw)),
+            ("ib_bw", Value::Float(self.ib_bw)),
+            ("lat_intra", Value::Float(self.lat_intra)),
+            ("lat_inter", Value::Float(self.lat_inter)),
+        ])
+    }
+}
+
+impl FromJson for ClusterSpec {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            device: DeviceSpec::from_json_value(v.field("device")?)?,
+            nodes: v.field("nodes")?.as_usize()?,
+            gpus_per_node: v.field("gpus_per_node")?.as_usize()?,
+            nvlink_bw: v.field("nvlink_bw")?.as_f64()?,
+            ib_bw: v.field("ib_bw")?.as_f64()?,
+            lat_intra: v.field("lat_intra")?.as_f64()?,
+            lat_inter: v.field("lat_inter")?.as_f64()?,
+        })
     }
 }
 

@@ -1,10 +1,9 @@
 //! Device ranges and communication groups.
 
 use crate::spec::ClusterSpec;
-use serde::{Deserialize, Serialize};
 
 /// A contiguous range of global GPU ids (pipeline stages own one each).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeviceRange {
     /// First global GPU id.
     pub start: usize,
@@ -37,7 +36,7 @@ impl DeviceRange {
 /// (`stride == 1`) and the data-parallel groups are strided by `tp` — so tp
 /// traffic stays on NVLink as long as `tp ≤ gpus_per_node`, matching how
 /// Megatron-LM packs groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CommGroup {
     /// First member's global GPU id.
     pub start: usize,

@@ -1,11 +1,11 @@
 //! The configuration data structures and their semantic hash.
 
 use aceso_cluster::DeviceRange;
+use aceso_util::json::{obj, FromJson, JsonError, ToJson, Value};
 use aceso_util::FnvHasher;
-use serde::{Deserialize, Serialize};
 
 /// Per-operator parallelism settings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpParallel {
     /// Tensor-parallel degree.
     pub tp: u32,
@@ -20,7 +20,6 @@ pub struct OpParallel {
     /// iteration for `1/dp` of the optimiser memory). Not part of the
     /// paper's Table 1 — see `aceso_core::primitives` for the extension
     /// primitives that toggle it.
-    #[serde(default)]
     pub zero: bool,
 }
 
@@ -43,7 +42,7 @@ impl OpParallel {
 }
 
 /// One pipeline stage: a contiguous operator range on a device group.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageConfig {
     /// First operator index (inclusive).
     pub op_start: usize,
@@ -88,7 +87,7 @@ impl StageConfig {
 }
 
 /// A complete parallel configuration (paper Fig. 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParallelConfig {
     /// Pipeline stages in model order; their op ranges partition the model.
     pub stages: Vec<StageConfig>,
@@ -162,6 +161,82 @@ impl ParallelConfig {
             }
         }
         h.finish()
+    }
+}
+
+impl ToJson for OpParallel {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("tp", Value::UInt(u64::from(self.tp))),
+            ("dp", Value::UInt(u64::from(self.dp))),
+            ("dim_index", Value::UInt(u64::from(self.dim_index))),
+            ("recompute", Value::Bool(self.recompute)),
+            ("zero", Value::Bool(self.zero)),
+        ])
+    }
+}
+
+impl FromJson for OpParallel {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            tp: v.field("tp")?.as_u32()?,
+            dp: v.field("dp")?.as_u32()?,
+            dim_index: v.field("dim_index")?.as_u8()?,
+            recompute: v.field("recompute")?.as_bool()?,
+            // `zero` postdates early snapshots; missing means off.
+            zero: match v.get("zero") {
+                Some(z) => z.as_bool()?,
+                None => false,
+            },
+        })
+    }
+}
+
+impl ToJson for StageConfig {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("op_start", Value::UInt(self.op_start as u64)),
+            ("op_end", Value::UInt(self.op_end as u64)),
+            ("gpus", Value::UInt(self.gpus as u64)),
+            ("ops", self.ops.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for StageConfig {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let mut ops = Vec::new();
+        for o in v.field("ops")?.as_array()? {
+            ops.push(OpParallel::from_json_value(o)?);
+        }
+        Ok(Self {
+            op_start: v.field("op_start")?.as_usize()?,
+            op_end: v.field("op_end")?.as_usize()?,
+            gpus: v.field("gpus")?.as_usize()?,
+            ops,
+        })
+    }
+}
+
+impl ToJson for ParallelConfig {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("stages", self.stages.to_json_value()),
+            ("microbatch", Value::UInt(self.microbatch as u64)),
+        ])
+    }
+}
+
+impl FromJson for ParallelConfig {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let mut stages = Vec::new();
+        for s in v.field("stages")?.as_array()? {
+            stages.push(StageConfig::from_json_value(s)?);
+        }
+        Ok(Self {
+            stages,
+            microbatch: v.field("microbatch")?.as_usize()?,
+        })
     }
 }
 

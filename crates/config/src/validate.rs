@@ -33,6 +33,10 @@ pub enum ConfigError {
     BadMicrobatch { microbatch: usize },
     /// An op's data-parallel degree does not divide the microbatch.
     DpNotDividingMicrobatch { stage: usize, op: usize },
+    /// ZeRO-1 optimiser sharding enabled on an op whose data-parallel
+    /// group is a singleton (`dp == 1`) — there is nothing to shard over,
+    /// and the extra parameter all-gather would be pure overhead.
+    ZeroWithoutDp { stage: usize, op: usize },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -66,6 +70,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::DpNotDividingMicrobatch { stage, op } => {
                 write!(f, "stage {stage} op {op}: dp does not divide microbatch")
+            }
+            ConfigError::ZeroWithoutDp { stage, op } => {
+                write!(f, "stage {stage} op {op}: zero sharding with dp == 1")
             }
         }
     }
@@ -145,6 +152,12 @@ pub fn validate(
             }
             if !m.is_multiple_of(op.dp as usize) {
                 return Err(ConfigError::DpNotDividingMicrobatch {
+                    stage: i,
+                    op: global_op,
+                });
+            }
+            if op.zero && op.dp == 1 {
+                return Err(ConfigError::ZeroWithoutDp {
                     stage: i,
                     op: global_op,
                 });
@@ -256,8 +269,45 @@ mod tests {
     }
 
     #[test]
+    fn detects_zero_on_singleton_dp_group() {
+        let (m, c, mut cfg) = setup();
+        // tp 4 × dp 1 fills the 4-GPU stage; zero over dp=1 is meaningless.
+        for op in &mut cfg.stages[0].ops {
+            op.tp = 4;
+            op.dp = 1;
+            op.zero = true;
+        }
+        // Clamp tp to each operator's limit so ZeroWithoutDp is the first
+        // error hit (some ops cap tp below 4 — drop them from the probe).
+        let ok_tp = cfg.stages[0]
+            .ops
+            .iter()
+            .enumerate()
+            .all(|(j, o)| o.tp <= m.ops[cfg.stages[0].op_start + j].tp_limit);
+        if ok_tp {
+            assert!(matches!(
+                validate(&cfg, &m, &c),
+                Err(ConfigError::ZeroWithoutDp { .. })
+            ));
+        } else {
+            assert!(validate(&cfg, &m, &c).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_with_real_dp_group_passes() {
+        let (m, c, mut cfg) = setup();
+        for op in &mut cfg.stages[0].ops {
+            op.zero = true; // dp = 4 here, so sharding is meaningful
+        }
+        assert_eq!(validate(&cfg, &m, &c), Ok(()));
+    }
+
+    #[test]
     fn error_display() {
         let e = ConfigError::ClusterSizeMismatch { got: 4, want: 8 };
         assert!(e.to_string().contains("4"));
+        let z = ConfigError::ZeroWithoutDp { stage: 1, op: 3 };
+        assert!(z.to_string().contains("dp == 1"));
     }
 }

@@ -1,0 +1,127 @@
+//! Feature-gated runtime invariant checks (`debug-invariants`).
+//!
+//! With the feature off (the default) every function here is an empty
+//! `#[inline(always)]` stub, so release binaries pay nothing. With it on,
+//! the transforms, the candidate generator, and the search panic at the
+//! exact point an invariant breaks — the dynamic twin of the static
+//! analyzers in `aceso-audit`.
+
+use aceso_cluster::ClusterSpec;
+use aceso_config::ParallelConfig;
+use aceso_model::ModelGraph;
+
+/// Panics unless `config` passes full validation against the model and
+/// the cluster. Used where both are in scope (candidate generation, the
+/// search's accept path).
+#[cfg(feature = "debug-invariants")]
+pub fn assert_valid(model: &ModelGraph, cluster: &ClusterSpec, config: &ParallelConfig, ctx: &str) {
+    if let Err(e) = aceso_config::validate::validate(config, model, cluster) {
+        panic!("debug-invariants[{ctx}]: invalid configuration: {e}");
+    }
+}
+
+/// No-op stub (feature off).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn assert_valid(_: &ModelGraph, _: &ClusterSpec, _: &ParallelConfig, _: &str) {}
+
+/// Panics unless `config` keeps the cluster-independent structural
+/// invariants every transform must preserve: stage op ranges partition the
+/// model, `tp·dp` matches each stage's GPU count, degrees stay powers of
+/// two within the op's tp limit, partition dims exist, the microbatch
+/// divides the global batch, every dp divides the microbatch, and ZeRO is
+/// clamped off wherever `dp == 1`.
+///
+/// The cluster-size check is deliberately absent: transforms see no
+/// cluster, they must merely conserve the configuration's own GPU total
+/// (which [`assert_valid`] pins to the cluster at the call sites that
+/// have one).
+#[cfg(feature = "debug-invariants")]
+pub fn assert_structure(model: &ModelGraph, config: &ParallelConfig, ctx: &str) {
+    let mut expect = 0usize;
+    for (i, s) in config.stages.iter().enumerate() {
+        assert_eq!(
+            s.op_start, expect,
+            "debug-invariants[{ctx}]: stage {i} op range breaks the partition"
+        );
+        assert!(
+            s.op_end > s.op_start,
+            "debug-invariants[{ctx}]: stage {i} is empty"
+        );
+        assert_eq!(
+            s.ops.len(),
+            s.num_ops(),
+            "debug-invariants[{ctx}]: stage {i} ops length mismatch"
+        );
+        expect = s.op_end;
+        for (j, op) in s.ops.iter().enumerate() {
+            let g = s.op_start + j;
+            assert_eq!(
+                op.gpus() as usize,
+                s.gpus,
+                "debug-invariants[{ctx}]: stage {i} op {g}: tp*dp != stage gpus"
+            );
+            assert!(
+                op.tp.is_power_of_two() && op.dp.is_power_of_two(),
+                "debug-invariants[{ctx}]: stage {i} op {g}: degrees not powers of two"
+            );
+            assert!(
+                op.tp <= model.ops[g].tp_limit,
+                "debug-invariants[{ctx}]: stage {i} op {g}: tp over operator limit"
+            );
+            assert!(
+                usize::from(op.dim_index) < model.ops[g].partitions.len(),
+                "debug-invariants[{ctx}]: stage {i} op {g}: bad partition dim"
+            );
+            assert!(
+                config.microbatch.is_multiple_of(op.dp as usize),
+                "debug-invariants[{ctx}]: stage {i} op {g}: dp does not divide microbatch"
+            );
+            assert!(
+                !(op.zero && op.dp == 1),
+                "debug-invariants[{ctx}]: stage {i} op {g}: unclamped zero on dp == 1"
+            );
+        }
+    }
+    assert_eq!(
+        expect,
+        model.len(),
+        "debug-invariants[{ctx}]: op ranges do not cover the model"
+    );
+    assert!(
+        config.microbatch > 0 && model.global_batch.is_multiple_of(config.microbatch),
+        "debug-invariants[{ctx}]: microbatch does not divide the global batch"
+    );
+}
+
+/// No-op stub (feature off).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn assert_structure(_: &ModelGraph, _: &ParallelConfig, _: &str) {}
+
+#[cfg(all(test, feature = "debug-invariants"))]
+mod tests {
+    use super::*;
+    use aceso_cluster::ClusterSpec;
+    use aceso_config::balanced_init;
+    use aceso_model::zoo::gpt3_custom;
+
+    #[test]
+    fn accepts_valid_config() {
+        let model = gpt3_custom("t", 2, 256, 4, 128, 1000, 64);
+        let cluster = ClusterSpec::v100(1, 4);
+        let cfg = balanced_init(&model, &cluster, 2).expect("init");
+        assert_structure(&model, &cfg, "test");
+        assert_valid(&model, &cluster, &cfg, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclamped zero")]
+    fn panics_on_unclamped_zero() {
+        let model = gpt3_custom("t", 2, 256, 4, 128, 1000, 64);
+        let cluster = ClusterSpec::v100(1, 4);
+        let mut cfg = balanced_init(&model, &cluster, 4).expect("init");
+        cfg.stages[0].ops[0].zero = true; // dp == 1 in a 1-GPU stage
+        assert_structure(&model, &cfg, "test");
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod bottleneck;
 pub mod finetune;
+pub mod invariants;
 pub mod primitives;
 pub mod search;
 pub mod trace;
@@ -21,4 +22,4 @@ pub mod transform;
 pub use bottleneck::{ranked_bottlenecks, Bottleneck};
 pub use primitives::{Candidate, Primitive, Resource, Trend};
 pub use search::{AcesoSearch, ScoredConfig, SearchError, SearchOptions, SearchResult};
-pub use trace::{ConvergencePoint, IterationRecord, SearchTrace};
+pub use trace::{AcceptedConfig, ConvergencePoint, IterationRecord, SearchTrace};

@@ -420,8 +420,10 @@ pub fn generate_with(
         out
     };
 
-    let mut seen = std::collections::HashSet::new();
-    fixed
+    // Seed the dedup set with the input: a candidate identical to the
+    // configuration it rewrites is a wasted hop, never a real move.
+    let mut seen = std::collections::HashSet::from([config.semantic_hash()]);
+    let candidates: Vec<Candidate> = fixed
         .into_iter()
         .filter(|(c, _)| seen.insert(c.semantic_hash()))
         .map(|(config, primitives_applied)| Candidate {
@@ -430,7 +432,11 @@ pub fn generate_with(
             stage,
             primitives_applied,
         })
-        .collect()
+        .collect();
+    for cand in &candidates {
+        crate::invariants::assert_valid(model, pm.cluster(), &cand.config, prim.name());
+    }
+    candidates
 }
 
 /// ZeRO-1 extension: flips optimiser-state sharding for every op in the

@@ -4,7 +4,7 @@
 use crate::bottleneck::{ranked_bottlenecks, Bottleneck};
 use crate::finetune::fine_tune;
 use crate::primitives::{generate_with, GenOptions, Primitive};
-use crate::trace::{ConvergencePoint, IterationRecord, SearchTrace};
+use crate::trace::{AcceptedConfig, ConvergencePoint, IterationRecord, SearchTrace};
 use aceso_cluster::ClusterSpec;
 use aceso_config::{balanced_init, ConfigError, ParallelConfig};
 use aceso_model::ModelGraph;
@@ -201,18 +201,17 @@ impl<'a> AcesoSearch<'a> {
 
         let mut runs: Vec<(Vec<ScoredConfig>, SearchTrace)> = Vec::new();
         if self.options.parallel && counts.len() > 1 {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = counts
                     .iter()
-                    .map(|&p| scope.spawn(move |_| self.search_stage_count(p, deadline)))
+                    .map(|&p| scope.spawn(move || self.search_stage_count(p, deadline)))
                     .collect();
                 for h in handles {
                     if let Ok(Some(r)) = h.join() {
                         runs.push(r);
                     }
                 }
-            })
-            .expect("search threads do not panic");
+            });
         } else {
             for &p in &counts {
                 if let Some(r) = self.search_stage_count(p, deadline) {
@@ -273,12 +272,14 @@ impl<'a> AcesoSearch<'a> {
         };
         let mut trace = SearchTrace {
             stage_count: p,
+            max_hops: self.options.max_hops,
             ..SearchTrace::default()
         };
 
         let mut config = init;
         ctx.visited.insert(config.semantic_hash());
         let mut best = ctx.scored(&config);
+        trace.initial_score = best.score;
         ctx.explored += 1;
 
         for _iter in 0..self.options.max_iterations {
@@ -305,12 +306,30 @@ impl<'a> AcesoSearch<'a> {
             match found {
                 Some((mut next, _)) => {
                     if self.options.fine_tune {
-                        let (tuned, evals) = fine_tune(&ctx.pm, next);
-                        next = tuned;
+                        let pre_hash = next.semantic_hash();
+                        let (tuned, evals) = fine_tune(&ctx.pm, next.clone());
                         ctx.explored += evals;
-                        ctx.visited.insert(next.semantic_hash());
+                        // Only adopt the tuned configuration when it is new
+                        // (or a no-op): tuning two different configurations
+                        // to the same optimum must not make the search
+                        // accept one fingerprint twice.
+                        let tuned_hash = tuned.semantic_hash();
+                        if tuned_hash == pre_hash || ctx.visited.insert(tuned_hash) {
+                            next = tuned;
+                        }
                     }
+                    crate::invariants::assert_valid(
+                        self.model,
+                        self.cluster,
+                        &next,
+                        "search accept",
+                    );
                     let scored = ctx.scored(&next);
+                    trace.accepted.push(AcceptedConfig {
+                        fingerprint: next.semantic_hash(),
+                        score: scored.score,
+                        config: next.clone(),
+                    });
                     if scored.score < best.score {
                         best = scored;
                     }

@@ -3,7 +3,12 @@
 //! Exp#5 (Fig. 11) needs the distribution of bottlenecks tried and hops
 //! used per improving iteration; Exp#5–7 (Figs. 12–14) need convergence
 //! curves (best found score over search time). The search records both
-//! here with negligible overhead.
+//! here with negligible overhead. The trace also keeps every accepted
+//! configuration (with its fingerprint and score) and the hop bound the
+//! search ran under, so `aceso-audit` can replay a finished search and
+//! re-prove its invariants offline.
+
+use aceso_config::ParallelConfig;
 
 /// One search iteration's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,15 +33,34 @@ pub struct ConvergencePoint {
     pub best_score: f64,
 }
 
+/// One configuration the search moved to (an accepted improvement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptedConfig {
+    /// `semantic_hash` of the configuration at acceptance time.
+    pub fingerprint: u64,
+    /// Score (OOM-penalised predicted iteration time) at acceptance time.
+    pub score: f64,
+    /// The configuration itself, kept so an audit can re-validate and
+    /// re-estimate it.
+    pub config: ParallelConfig,
+}
+
 /// Full trace of one stage-count search.
 #[derive(Debug, Clone, Default)]
 pub struct SearchTrace {
     /// Pipeline stage count this search explored.
     pub stage_count: usize,
+    /// `MaxHops` bound the search ran under (for hop-depth auditing).
+    pub max_hops: usize,
+    /// Score of the initial configuration (anchor of the monotone
+    /// best-score invariant).
+    pub initial_score: f64,
     /// Per-iteration records.
     pub iterations: Vec<IterationRecord>,
     /// Convergence curve samples (one per iteration).
     pub convergence: Vec<ConvergencePoint>,
+    /// Every configuration the search accepted, in order.
+    pub accepted: Vec<AcceptedConfig>,
     /// Total configurations evaluated.
     pub explored: usize,
 }
@@ -126,8 +150,8 @@ mod tests {
                     improved: false,
                 },
             ],
-            convergence: vec![],
             explored: 10,
+            ..SearchTrace::default()
         }
     }
 

@@ -9,6 +9,15 @@
 use aceso_config::{OpParallel, ParallelConfig, StageConfig};
 use aceso_model::ModelGraph;
 
+/// Drops ZeRO sharding when the op's data-parallel group degenerates to a
+/// singleton — `validate` rejects `zero && dp == 1`, so every transform
+/// that can lower dp must clamp before returning.
+fn clamp_zero(op: &mut OpParallel) {
+    if op.dp == 1 {
+        op.zero = false;
+    }
+}
+
 /// Largest power-of-two tensor-parallel degree `≤ want` that the operator
 /// accepts and that divides `gpus`.
 fn clamp_tp(want: u32, tp_limit: u32, gpus: u32) -> u32 {
@@ -41,26 +50,30 @@ fn adopt_settings(
             if tp2.is_power_of_two() && tp2 <= op.tp_limit && gpus.is_multiple_of(tp2) {
                 let dp2 = gpus / tp2;
                 if dp2.is_power_of_two() && microbatch.is_multiple_of(dp2 as usize) {
-                    return Some(OpParallel {
+                    let mut adopted = OpParallel {
                         tp: tp2,
                         dp: dp2,
                         dim_index: template.dim_index.min((op.partitions.len() - 1) as u8),
                         recompute: template.recompute,
                         zero: template.zero,
-                    });
+                    };
+                    clamp_zero(&mut adopted);
+                    return Some(adopted);
                 }
             }
             tp2 /= 2;
         }
         return None;
     }
-    Some(OpParallel {
+    let mut adopted = OpParallel {
         tp,
         dp,
         dim_index: template.dim_index.min((op.partitions.len() - 1) as u8),
         recompute: template.recompute,
         zero: template.zero,
-    })
+    };
+    clamp_zero(&mut adopted);
+    Some(adopted)
 }
 
 /// Moves `k` boundary operators from stage `from` to the adjacent stage
@@ -110,6 +123,7 @@ pub fn move_ops(
         new_front.append(&mut cfg.stages[to].ops);
         cfg.stages[to].ops = new_front;
     }
+    crate::invariants::assert_structure(model, &cfg, "move_ops");
     Some(cfg)
 }
 
@@ -136,6 +150,7 @@ fn halve_stage_inplace(stage: &mut StageConfig) -> bool {
         } else {
             return false;
         }
+        clamp_zero(op);
     }
     stage.gpus /= 2;
     true
@@ -194,6 +209,7 @@ pub fn grow_stage(
         return None;
     }
     fix_microbatch(&mut cfg, model)?;
+    crate::invariants::assert_structure(model, &cfg, "grow_stage");
     Some(cfg)
 }
 
@@ -232,6 +248,7 @@ pub fn shrink_stage(
         return None;
     }
     fix_microbatch(&mut cfg, model)?;
+    crate::invariants::assert_structure(model, &cfg, "shrink_stage");
     Some(cfg)
 }
 
@@ -263,8 +280,10 @@ pub fn convert_stage(
                 op.dp *= 2;
             }
         }
+        clamp_zero(op);
     }
     fix_microbatch(&mut cfg, model)?;
+    crate::invariants::assert_structure(model, &cfg, "convert_stage");
     Some(cfg)
 }
 
@@ -302,8 +321,10 @@ pub fn convert_suffix(
                 op.dp *= 2;
             }
         }
+        clamp_zero(op);
     }
     fix_microbatch(&mut cfg, model)?;
+    crate::invariants::assert_structure(model, &cfg, "convert_suffix");
     Some(cfg)
 }
 
@@ -336,6 +357,7 @@ pub fn scale_microbatch(
         return None;
     }
     cfg.microbatch = m;
+    crate::invariants::assert_structure(model, &cfg, "scale_microbatch");
     Some(cfg)
 }
 
@@ -381,6 +403,7 @@ pub fn recompute_largest(
     for &j in order.iter().take(k) {
         s.ops[j].recompute = true;
     }
+    crate::invariants::assert_structure(model, &cfg, "recompute_largest");
     Some(cfg)
 }
 
@@ -402,6 +425,7 @@ pub fn uncompute_smallest(
     for &j in order.iter().take(k) {
         s.ops[j].recompute = false;
     }
+    crate::invariants::assert_structure(model, &cfg, "uncompute_smallest");
     Some(cfg)
 }
 
@@ -575,6 +599,40 @@ mod tests {
         assert!(validate(&grown, &m, &c).is_ok());
         // Stage 0 now has dp=4 > old microbatch 2 → microbatch bumped.
         assert!(grown.microbatch >= 4);
+    }
+
+    #[test]
+    fn dp_reducing_transforms_clamp_zero() {
+        let (m, c, mut cfg) = setup();
+        // dp=4 stages with zero on; converting toward tp repeatedly drives
+        // dp to 1, and the zero flag must drop with it.
+        for s in &mut cfg.stages {
+            for o in &mut s.ops {
+                o.zero = true;
+            }
+        }
+        assert!(validate(&cfg, &m, &c).is_ok());
+        let mut cur = cfg;
+        while let Some(next) = convert_stage(&m, &cur, 0, Mechanism::Tp) {
+            assert!(
+                validate(&next, &m, &c).is_ok(),
+                "zero must be clamped when dp hits 1"
+            );
+            cur = next;
+        }
+        assert!(cur.stages[0].ops.iter().any(|o| o.dp == 1 && !o.zero));
+
+        // halve_stage_inplace path (via shrink/grow) also clamps.
+        let cfg4 = balanced_init(&m, &ClusterSpec::v100(1, 8), 4).expect("init");
+        let mut zeroed = cfg4;
+        for s in &mut zeroed.stages {
+            for o in &mut s.ops {
+                o.zero = o.dp > 1;
+            }
+        }
+        if let Some(grown) = grow_stage(&m, &zeroed, 0, Mechanism::Dp, &[1, 2]) {
+            assert!(validate(&grown, &m, &ClusterSpec::v100(1, 8)).is_ok());
+        }
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property-style tests over the primitive candidate generator: seeded
+//! random walks through configuration space, asserting that every
+//! candidate `generate_with` emits — under every combination-feature
+//! setting — passes full validation, conserves the GPU total, reports at
+//! least one applied primitive, and differs from its input. This is the
+//! executable twin of the `aceso-audit` transform analyzer, run from
+//! random starting points instead of the fixed corpus.
+
+use aceso_cluster::ClusterSpec;
+use aceso_config::{balanced_init, validate::validate, ParallelConfig};
+use aceso_core::primitives::{generate_with, GenOptions};
+use aceso_core::{Primitive, Resource};
+use aceso_model::{zoo, ModelGraph};
+use aceso_perf::PerfModel;
+use aceso_profile::ProfileDb;
+use aceso_util::SplitMix64;
+
+/// All §4.3 combination-feature settings the walk alternates between.
+const GEN_OPTIONS: [GenOptions; 4] = [
+    GenOptions {
+        attach_rc: false,
+        relay_moves: false,
+        enable_zero: false,
+    },
+    GenOptions {
+        attach_rc: true,
+        relay_moves: false,
+        enable_zero: false,
+    },
+    GenOptions {
+        attach_rc: false,
+        relay_moves: true,
+        enable_zero: true,
+    },
+    GenOptions {
+        attach_rc: true,
+        relay_moves: true,
+        enable_zero: true,
+    },
+];
+
+/// One random walk: from a balanced init, repeatedly generate candidates
+/// for a random (primitive, stage, resource), check them all, then step
+/// to a random candidate.
+fn walk(model: &ModelGraph, cluster: &ClusterSpec, p: usize, seed: u64, steps: usize) {
+    let db = ProfileDb::build(model, cluster);
+    let pm = PerfModel::new(model, cluster, &db);
+    let mut rng = SplitMix64::new(seed);
+    let mut config: ParallelConfig = match balanced_init(model, cluster, p) {
+        Ok(c) => c,
+        Err(_) => return, // stage count infeasible for this pair
+    };
+
+    for step in 0..steps {
+        let est = pm.evaluate_unchecked(&config);
+        let stage = rng.next_below(config.num_stages());
+        let prim = *rng.choose(&Primitive::EXTENDED).expect("nonempty");
+        let resource = *rng.choose(&Resource::ALL).expect("nonempty");
+        let opts = *rng.choose(&GEN_OPTIONS).expect("nonempty");
+        let input_hash = config.semantic_hash();
+        let input_gpus = config.total_gpus();
+
+        let candidates = generate_with(&pm, &config, &est, prim, stage, resource, opts);
+        for cand in &candidates {
+            let ctx = format!(
+                "{} seed {seed} step {step}: {} on stage {stage} ({opts:?})",
+                model.name,
+                prim.name()
+            );
+            validate(&cand.config, model, cluster)
+                .unwrap_or_else(|e| panic!("{ctx}: candidate fails validation: {e}"));
+            assert_eq!(
+                cand.config.total_gpus(),
+                input_gpus,
+                "{ctx}: candidate changed the GPU total"
+            );
+            assert!(
+                cand.primitives_applied >= 1,
+                "{ctx}: candidate reports zero applied primitives"
+            );
+            assert_ne!(
+                cand.config.semantic_hash(),
+                input_hash,
+                "{ctx}: candidate is identical to its input"
+            );
+        }
+
+        // Step somewhere new; if this primitive had no candidates, the
+        // next loop iteration rolls a different one.
+        if let Some(next) = rng.choose(&candidates) {
+            config = next.config.clone();
+        }
+    }
+}
+
+#[test]
+fn random_walks_only_generate_valid_candidates() {
+    let cluster = ClusterSpec::v100(1, 8);
+    let model = zoo::gpt3_custom("prop-gpt", 6, 512, 8, 256, 8192, 64);
+    for seed in 0..6 {
+        for p in [1, 2, 3] {
+            walk(&model, &cluster, p, 0xACE5_0000 + seed, 24);
+        }
+    }
+}
+
+#[test]
+fn random_walks_hold_on_heterogeneous_models() {
+    let cluster = ClusterSpec::v100(1, 4);
+    for (i, model) in [zoo::t5(zoo::T5Size::S0_77b), zoo::deepnet(8)]
+        .into_iter()
+        .enumerate()
+    {
+        for p in [2, 4] {
+            walk(&model, &cluster, p, 0xBEEF + i as u64, 12);
+        }
+    }
+}

@@ -1,10 +1,10 @@
 //! Sequential model graph.
 
 use crate::op::Operator;
-use serde::{Deserialize, Serialize};
+use aceso_util::json::{FromJson, JsonError, ToJson, Value};
 
 /// Numeric precision of activations/parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// Half precision (2 bytes/element), mixed-precision optimiser states.
     Fp16,
@@ -33,9 +33,31 @@ impl Precision {
     }
 }
 
+impl ToJson for Precision {
+    fn to_json_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Precision::Fp16 => "fp16",
+                Precision::Fp32 => "fp32",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Precision {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "fp16" => Ok(Precision::Fp16),
+            "fp32" => Ok(Precision::Fp32),
+            other => Err(JsonError::shape(format!("unknown precision `{other}`"))),
+        }
+    }
+}
+
 /// A DNN model as a sequential operator list (the representation the paper's
 /// search operates on — pipeline stages are contiguous ranges of `ops`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelGraph {
     /// Model name, e.g. `gpt3-13b`.
     pub name: String,

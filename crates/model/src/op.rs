@@ -1,11 +1,9 @@
 //! Operator definitions.
 
-use serde::{Deserialize, Serialize};
-
 /// Broad operator class; determines whether an operator is compute-bound
 /// (matmul-like) or memory-bandwidth-bound (elementwise/normalisation) in
 /// the simulated profiler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Token/vocab embedding lookup + positional add.
     Embedding,
@@ -35,7 +33,7 @@ impl OpKind {
 }
 
 /// Tensor-parallel partitioning dimension of one [`PartitionSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionDim {
     /// Weight split along rows (input dimension); forward all-reduce.
     Row,
@@ -57,7 +55,7 @@ pub enum PartitionDim {
 }
 
 /// How the operator's work and state scale with the tensor-parallel degree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scaling {
     /// FLOPs, parameters and stash divide by `tp`.
     Divided,
@@ -72,7 +70,7 @@ pub enum Scaling {
 /// output layout (at its tp degree) does not match the consumer's expected
 /// input layout — this is what makes in-stage tp/dp changes (§4.2) cost
 /// something, exactly like the all-gather the paper describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layout {
     /// Replicated full tensor on every rank of the group.
     Full,
@@ -81,7 +79,7 @@ pub enum Layout {
 }
 
 /// One way an operator may be tensor-parallelised.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionSpec {
     /// The partition dimension.
     pub dim: PartitionDim,
@@ -119,7 +117,7 @@ impl PartitionSpec {
 ///
 /// All tensor quantities are *per sample* (one element of the mini-batch);
 /// the performance model scales them by the per-device microbatch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Operator {
     /// Human-readable name, unique within the model (e.g. `layer17.fc1`).
     pub name: String,

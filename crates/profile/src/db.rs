@@ -16,10 +16,10 @@ use crate::device_model;
 use aceso_cluster::{collective, ClusterSpec, Collective, CommGroup};
 use aceso_model::{ModelGraph, Operator, Precision};
 use aceso_util::hash::keyed_jitter;
+use aceso_util::json::{obj, FromJson, JsonError, ToJson, Value};
 use aceso_util::FnvHasher;
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Relative spread of the simulated per-kernel measurement perturbation.
 const KERNEL_JITTER: f64 = 0.02;
@@ -29,7 +29,7 @@ const COMM_JITTER: f64 = 0.03;
 const PROFILE_REPS: u32 = 50;
 
 /// Composite lookup key: operator signature × tp × dim × per-device batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
     sig: u64,
     tp: u32,
@@ -38,12 +38,57 @@ struct Key {
 }
 
 /// Serialisable snapshot of a [`ProfileDb`].
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct Snapshot {
     cluster: ClusterSpec,
     precision: Precision,
     profiling_seconds: f64,
     entries: Vec<(Key, f64)>,
+}
+
+impl ToJson for Snapshot {
+    fn to_json_value(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(k, t)| {
+                obj([
+                    ("sig", Value::UInt(k.sig)),
+                    ("tp", Value::UInt(u64::from(k.tp))),
+                    ("dim", Value::UInt(u64::from(k.dim))),
+                    ("batch", Value::UInt(k.batch)),
+                    ("time", Value::Float(*t)),
+                ])
+            })
+            .collect();
+        obj([
+            ("cluster", self.cluster.to_json_value()),
+            ("precision", self.precision.to_json_value()),
+            ("profiling_seconds", Value::Float(self.profiling_seconds)),
+            ("entries", Value::Array(entries)),
+        ])
+    }
+}
+
+impl FromJson for Snapshot {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let mut entries = Vec::new();
+        for e in v.field("entries")?.as_array()? {
+            let key = Key {
+                sig: e.field("sig")?.as_u64()?,
+                tp: e.field("tp")?.as_u32()?,
+                dim: e.field("dim")?.as_u8()?,
+                batch: e.field("batch")?.as_u64()?,
+            };
+            entries.push((key, e.field("time")?.as_f64()?));
+        }
+        Ok(Self {
+            cluster: ClusterSpec::from_json_value(v.field("cluster")?)?,
+            precision: Precision::from_json_value(v.field("precision")?)?,
+            profiling_seconds: v.field("profiling_seconds")?.as_f64()?,
+            entries,
+        })
+    }
 }
 
 /// Profiled per-operator latencies plus collective-time queries for one
@@ -73,7 +118,7 @@ impl ProfileDb {
         let max_batch = model.global_batch as u64;
         let mut seen = std::collections::HashSet::new();
         {
-            let mut entries = db.entries.write();
+            let mut entries = db.entries.write().expect("profile lock");
             for op in &model.ops {
                 let sig = Self::op_signature(op);
                 if !seen.insert(sig) {
@@ -127,12 +172,12 @@ impl ProfileDb {
         let chunks: Vec<&[&Operator]> = unique.chunks(unique.len().div_ceil(threads)).collect();
         let mut entries: HashMap<Key, f64> = HashMap::new();
         let mut profiling = 0.0f64;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     let cluster = &cluster;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local: Vec<(Key, f64)> = Vec::new();
                         let mut cost = 0.0f64;
                         for op in chunk {
@@ -166,8 +211,7 @@ impl ProfileDb {
                 entries.extend(local);
                 profiling += cost;
             }
-        })
-        .expect("profiling scope");
+        });
         Self {
             cluster: cluster.clone(),
             precision: model.precision,
@@ -234,11 +278,11 @@ impl ProfileDb {
             dim: dim_index as u8,
             batch: per_dev_batch.max(1),
         };
-        if let Some(&t) = self.entries.read().get(&key) {
+        if let Some(&t) = self.entries.read().expect("profile lock").get(&key) {
             return t;
         }
         let t = Self::measure(&self.cluster, self.precision, op, key);
-        self.entries.write().insert(key, t);
+        self.entries.write().expect("profile lock").insert(key, t);
         t
     }
 
@@ -297,12 +341,12 @@ impl ProfileDb {
 
     /// Number of profiled grid entries.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().expect("profile lock").len()
     }
 
     /// Whether the database holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries.read().expect("profile lock").is_empty()
     }
 
     /// Merges another database profiled on the same cluster/precision into
@@ -315,8 +359,9 @@ impl ProfileDb {
     pub fn merge(&mut self, other: &ProfileDb) -> usize {
         debug_assert_eq!(self.precision, other.precision);
         let mut added = 0usize;
-        let mut mine = self.entries.write();
-        for (k, v) in other.entries.read().iter() {
+        let mut mine = self.entries.write().expect("profile lock");
+        let theirs = other.entries.read().expect("profile lock");
+        for (k, v) in theirs.iter() {
             if mine.insert(*k, *v).is_none() {
                 added += 1;
             }
@@ -330,14 +375,20 @@ impl ProfileDb {
             cluster: self.cluster.clone(),
             precision: self.precision,
             profiling_seconds: self.profiling_seconds,
-            entries: self.entries.read().iter().map(|(k, v)| (*k, *v)).collect(),
+            entries: self
+                .entries
+                .read()
+                .expect("profile lock")
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
         };
-        serde_json::to_string(&snap).expect("profile snapshot serialises")
+        snap.to_json_value().to_string_compact()
     }
 
     /// Restores a database from [`Self::to_json`] output.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let snap: Snapshot = serde_json::from_str(json)?;
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let snap = Snapshot::from_json_value(&Value::parse(json)?)?;
         Ok(Self {
             cluster: snap.cluster,
             precision: snap.precision,

@@ -12,10 +12,10 @@ use crate::schedule::{one_f_one_b, Task};
 use aceso_cluster::ClusterSpec;
 use aceso_config::{ConfigError, ParallelConfig};
 use aceso_model::ModelGraph;
-use serde::{Deserialize, Serialize};
+use aceso_util::json::{obj, FromJson, JsonError, ToJson, Value};
 
 /// One operator shard assigned to a rank.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpAssignment {
     /// Global operator index in the model.
     pub op_index: usize,
@@ -36,7 +36,7 @@ pub struct OpAssignment {
 }
 
 /// Everything one GPU needs to execute its part of the configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankPlan {
     /// Global GPU id.
     pub rank: usize,
@@ -57,7 +57,7 @@ pub struct RankPlan {
 }
 
 /// Serialisable schedule entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanTask {
     /// Forward pass of one microbatch.
     Fwd(usize),
@@ -75,7 +75,7 @@ impl From<Task> for PlanTask {
 }
 
 /// A complete multi-rank execution plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionPlan {
     /// Model name the plan was built for.
     pub model: String,
@@ -163,12 +163,148 @@ impl ExecutionPlan {
 
     /// Serialises the plan to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plan serialises")
+        self.to_json_value().to_string_pretty()
     }
 
     /// Restores a plan from [`Self::to_json`] output.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Value::parse(json)?)
+    }
+}
+
+impl ToJson for OpAssignment {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("op_index", Value::UInt(self.op_index as u64)),
+            ("name", Value::Str(self.name.clone())),
+            ("tp", Value::UInt(u64::from(self.tp))),
+            ("tp_rank", Value::UInt(u64::from(self.tp_rank))),
+            ("dp", Value::UInt(u64::from(self.dp))),
+            ("dp_rank", Value::UInt(u64::from(self.dp_rank))),
+            ("dim_index", Value::UInt(u64::from(self.dim_index))),
+            ("recompute", Value::Bool(self.recompute)),
+        ])
+    }
+}
+
+impl FromJson for OpAssignment {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            op_index: v.field("op_index")?.as_usize()?,
+            name: v.field("name")?.as_str()?.to_string(),
+            tp: v.field("tp")?.as_u32()?,
+            tp_rank: v.field("tp_rank")?.as_u32()?,
+            dp: v.field("dp")?.as_u32()?,
+            dp_rank: v.field("dp_rank")?.as_u32()?,
+            dim_index: v.field("dim_index")?.as_u8()?,
+            recompute: v.field("recompute")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for PlanTask {
+    fn to_json_value(&self) -> Value {
+        match self {
+            PlanTask::Fwd(mb) => obj([("fwd", Value::UInt(*mb as u64))]),
+            PlanTask::Bwd(mb) => obj([("bwd", Value::UInt(*mb as u64))]),
+        }
+    }
+}
+
+impl FromJson for PlanTask {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        if let Some(mb) = v.get("fwd") {
+            Ok(PlanTask::Fwd(mb.as_usize()?))
+        } else if let Some(mb) = v.get("bwd") {
+            Ok(PlanTask::Bwd(mb.as_usize()?))
+        } else {
+            Err(JsonError::shape("expected fwd or bwd task"))
+        }
+    }
+}
+
+impl ToJson for RankPlan {
+    fn to_json_value(&self) -> Value {
+        let usizes =
+            |xs: &[usize]| Value::Array(xs.iter().map(|&x| Value::UInt(x as u64)).collect());
+        obj([
+            ("rank", Value::UInt(self.rank as u64)),
+            ("stage", Value::UInt(self.stage as u64)),
+            ("tp_group", usizes(&self.tp_group)),
+            ("dp_group", usizes(&self.dp_group)),
+            (
+                "recv_from",
+                self.recv_from
+                    .map_or(Value::Null, |r| Value::UInt(r as u64)),
+            ),
+            (
+                "send_to",
+                self.send_to.map_or(Value::Null, |r| Value::UInt(r as u64)),
+            ),
+            ("ops", self.ops.to_json_value()),
+            ("schedule", self.schedule.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for RankPlan {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let usizes = |v: &Value| -> Result<Vec<usize>, JsonError> {
+            v.as_array()?.iter().map(Value::as_usize).collect()
+        };
+        let opt_usize = |v: &Value| -> Result<Option<usize>, JsonError> {
+            match v {
+                Value::Null => Ok(None),
+                other => Ok(Some(other.as_usize()?)),
+            }
+        };
+        let mut ops = Vec::new();
+        for o in v.field("ops")?.as_array()? {
+            ops.push(OpAssignment::from_json_value(o)?);
+        }
+        let mut schedule = Vec::new();
+        for t in v.field("schedule")?.as_array()? {
+            schedule.push(PlanTask::from_json_value(t)?);
+        }
+        Ok(Self {
+            rank: v.field("rank")?.as_usize()?,
+            stage: v.field("stage")?.as_usize()?,
+            tp_group: usizes(v.field("tp_group")?)?,
+            dp_group: usizes(v.field("dp_group")?)?,
+            recv_from: opt_usize(v.field("recv_from")?)?,
+            send_to: opt_usize(v.field("send_to")?)?,
+            ops,
+            schedule,
+        })
+    }
+}
+
+impl ToJson for ExecutionPlan {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("model", Value::Str(self.model.clone())),
+            ("microbatch", Value::UInt(self.microbatch as u64)),
+            (
+                "num_microbatches",
+                Value::UInt(self.num_microbatches as u64),
+            ),
+            ("ranks", self.ranks.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ExecutionPlan {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let mut ranks = Vec::new();
+        for r in v.field("ranks")?.as_array()? {
+            ranks.push(RankPlan::from_json_value(r)?);
+        }
+        Ok(Self {
+            model: v.field("model")?.as_str()?.to_string(),
+            microbatch: v.field("microbatch")?.as_usize()?,
+            num_microbatches: v.field("num_microbatches")?.as_usize()?,
+            ranks,
+        })
     }
 }
 

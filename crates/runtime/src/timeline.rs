@@ -5,10 +5,10 @@
 //! pipeline bubbles, stragglers and imbalance visually obvious — the
 //! debugging workflow one would use on a real cluster's profiler traces.
 
-use serde::{Deserialize, Serialize};
+use aceso_util::json::{obj, Value};
 
 /// One executed task on the timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimelineEvent {
     /// Pipeline stage (rendered as the trace "thread").
     pub stage: usize,
@@ -24,29 +24,21 @@ pub struct TimelineEvent {
 
 /// Renders events as a Chrome tracing JSON document (microsecond units).
 pub fn to_chrome_trace(events: &[TimelineEvent]) -> String {
-    #[derive(Serialize)]
-    struct ChromeEvent<'a> {
-        name: String,
-        cat: &'a str,
-        ph: &'a str,
-        ts: f64,
-        dur: f64,
-        pid: u32,
-        tid: usize,
-    }
-    let rows: Vec<ChromeEvent> = events
+    let rows: Vec<Value> = events
         .iter()
-        .map(|e| ChromeEvent {
-            name: format!("{} mb{}", e.kind, e.microbatch),
-            cat: e.kind,
-            ph: "X",
-            ts: e.start * 1e6,
-            dur: e.duration * 1e6,
-            pid: 0,
-            tid: e.stage,
+        .map(|e| {
+            obj([
+                ("name", Value::Str(format!("{} mb{}", e.kind, e.microbatch))),
+                ("cat", Value::Str(e.kind.to_string())),
+                ("ph", Value::Str("X".to_string())),
+                ("ts", Value::Float(e.start * 1e6)),
+                ("dur", Value::Float(e.duration * 1e6)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(e.stage as u64)),
+            ])
         })
         .collect();
-    serde_json::to_string(&rows).expect("trace serialises")
+    Value::Array(rows).to_string_compact()
 }
 
 #[cfg(test)]

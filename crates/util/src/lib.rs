@@ -6,6 +6,7 @@
 //! what makes every experiment in the repository reproducible bit-for-bit.
 
 pub mod hash;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;

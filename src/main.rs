@@ -13,6 +13,7 @@ use aceso::model::zoo::{gpt3, t5, wide_resnet, Gpt3Size, T5Size, WideResnetSize}
 use aceso::model::ModelGraph;
 use aceso::prelude::*;
 use aceso::runtime::ExecutionPlan;
+use aceso_audit::AuditOptions;
 use std::time::Duration;
 
 /// Parsed command-line options.
@@ -28,6 +29,7 @@ struct Args {
 const USAGE: &str = "\
 usage: aceso --model <name> [--gpus N] [--budget-secs S] [--stages P]
              [--zero] [--plan-out FILE]
+       aceso audit [--smoke] [--json FILE] [--epsilon E]
 
 models: gpt3-{0.35b,1.3b,2.6b,6.7b,13b}, t5-{0.77b,3b,6b,11b,22b},
         wresnet-{0.5b,2b,4b,6.8b,13b}, deepnet-<layers>l
@@ -36,7 +38,65 @@ flags:
   --budget-secs S   search wall-clock budget (default 30)
   --stages P        pin the pipeline stage count (default: search 1..)
   --zero            enable the ZeRO-1 extension primitives
-  --plan-out FILE   write the per-rank execution plan as JSON";
+  --plan-out FILE   write the per-rank execution plan as JSON
+
+audit: run the static invariant analyzers (primitive signatures,
+transform validity, perf-model consistency, search-trace replay) over
+the model-zoo corpus; exits non-zero if any finding is reported
+  --smoke           audit a single small model (fast CI check)
+  --json FILE       also write the findings report as JSON
+  --epsilon E       float comparison tolerance (default 1e-9)";
+
+/// Runs `aceso audit` and exits: 0 when clean, 1 on findings, 2 on bad
+/// usage.
+fn run_audit(mut it: impl Iterator<Item = String>) -> ! {
+    let mut opts = AuditOptions::default();
+    let mut json_out: Option<String> = None;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let parsed = match flag.as_str() {
+            "--smoke" => {
+                opts.smoke = true;
+                Ok(())
+            }
+            "--json" => value("--json").map(|v| json_out = Some(v)),
+            "--epsilon" => value("--epsilon").and_then(|v| {
+                v.parse()
+                    .map(|e| opts.epsilon = e)
+                    .map_err(|e| format!("--epsilon: {e}"))
+            }),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => Err(format!("unknown audit flag `{other}`")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!(
+        "auditing {} corpus (epsilon {:.1e})...",
+        if opts.smoke {
+            "smoke"
+        } else {
+            "full model-zoo"
+        },
+        opts.epsilon
+    );
+    let report = aceso_audit::run(&opts);
+    print!("{}", report.render());
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote JSON report to {path}");
+    }
+    std::process::exit(if report.clean() { 0 } else { 1 });
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -112,6 +172,11 @@ fn build_model(name: &str) -> Option<ModelGraph> {
 }
 
 fn main() {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("audit") {
+        argv.next();
+        run_audit(argv);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
