@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI gate: formatting, lints (warnings are errors), the tier-1
-# build + test cycle in both invariant modes, and an audit smoke run
-# that must come back with zero findings.
+# CI gate: formatting, lints (warnings are errors), rustdoc (warnings
+# are errors), the tier-1 build + test cycle in both invariant modes,
+# an audit smoke run that must come back with zero findings, and an
+# observability smoke run whose artifacts must validate against the
+# documented schema.
 set -eu
 
 cd "$(dirname "$0")"
@@ -12,6 +14,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features aceso-core/debug-invariants -- -D warnings
+
+echo "==> cargo doc (workspace, no deps, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -24,5 +29,15 @@ cargo test -q --workspace --features aceso-core/debug-invariants
 
 echo "==> audit smoke run"
 cargo run --release --quiet --bin aceso -- audit --smoke
+
+echo "==> observability smoke run (schema-validated metrics + events)"
+OBS_TMP=$(mktemp -d)
+cargo run --release --quiet --bin aceso -- search \
+    --model gpt3-0.35b --gpus 4 --budget-secs 2 \
+    --metrics-out "$OBS_TMP/metrics.json" \
+    --events-out "$OBS_TMP/events.jsonl" >/dev/null
+cargo run --release --quiet -p aceso-bench --bin obs_check -- \
+    "$OBS_TMP/metrics.json" "$OBS_TMP/events.jsonl"
+rm -rf "$OBS_TMP"
 
 echo "CI OK"

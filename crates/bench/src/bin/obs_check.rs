@@ -1,0 +1,134 @@
+//! Observability smoke checker.
+//!
+//! Two modes:
+//!
+//! * `obs_check <metrics.json> <events.jsonl>` — validate CLI output:
+//!   both files parse with `aceso-util::json`, the metric snapshot has a
+//!   non-zero `perf_evaluations`, the candidate counters are consistent
+//!   (`accepted + rejected == generated`), and every event line carries
+//!   a `kind` known to the schema registry with a contiguous `seq`.
+//! * `obs_check` (no args) — run a small metrics-enabled search and
+//!   write the `BENCH_search.json` snapshot at the workspace root, then
+//!   validate it with the same rules.
+//!
+//! Exits non-zero with a diagnostic on the first violated rule; `ci.sh`
+//! runs both modes.
+
+use aceso_bench::harness::{write_bench_search, ExpEnv};
+use aceso_core::SearchOptions;
+use aceso_obs::schema::{EVENTS, SCHEMA_VERSION};
+use aceso_util::json::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn counter(snapshot: &Value, name: &str) -> u64 {
+    snapshot
+        .field("counters")
+        .and_then(|c| c.field(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|e| fail(&format!("counter {name}: {e:?}")))
+}
+
+/// Validates one metric snapshot (either the CLI's `--metrics-out` file
+/// or the `metrics` object of `BENCH_search.json`).
+fn check_metrics(snapshot: &Value, origin: &str) {
+    match snapshot.field("schema_version").and_then(Value::as_u64) {
+        Ok(v) if v == SCHEMA_VERSION => {}
+        Ok(v) => fail(&format!(
+            "{origin}: schema_version {v}, expected {SCHEMA_VERSION}"
+        )),
+        Err(e) => fail(&format!("{origin}: schema_version: {e:?}")),
+    }
+    let evals = counter(snapshot, "perf_evaluations");
+    if evals == 0 {
+        fail(&format!("{origin}: zero configurations evaluated"));
+    }
+    let generated = counter(snapshot, "candidates_generated");
+    let accepted = counter(snapshot, "candidates_accepted");
+    let rejected = counter(snapshot, "candidates_rejected");
+    if accepted + rejected != generated {
+        fail(&format!(
+            "{origin}: accepted ({accepted}) + rejected ({rejected}) != generated ({generated})"
+        ));
+    }
+    println!(
+        "obs_check: {origin}: {evals} evaluations, {generated} candidates \
+         ({accepted} accepted + {rejected} rejected) -- consistent"
+    );
+}
+
+/// Validates an event stream: every line parses, carries a known kind,
+/// and is numbered contiguously.
+fn check_events(text: &str, origin: &str) {
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let v = Value::parse(line)
+            .unwrap_or_else(|e| fail(&format!("{origin} line {}: unparseable: {e:?}", i + 1)));
+        let seq = v
+            .field("seq")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|e| fail(&format!("{origin} line {}: seq: {e:?}", i + 1)));
+        if seq != i as u64 {
+            fail(&format!("{origin} line {}: seq {seq}, expected {i}", i + 1));
+        }
+        let kind = v
+            .field("kind")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|e| fail(&format!("{origin} line {}: kind: {e:?}", i + 1)));
+        if !EVENTS.iter().any(|spec| spec.kind == kind) {
+            fail(&format!(
+                "{origin} line {}: unknown event kind `{kind}`",
+                i + 1
+            ));
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        fail(&format!("{origin}: empty event stream"));
+    }
+    println!("obs_check: {origin}: {lines} events -- all parse, kinds known");
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [metrics_path, events_path] => {
+            let metrics = Value::parse(&read(metrics_path))
+                .unwrap_or_else(|e| fail(&format!("{metrics_path}: unparseable: {e:?}")));
+            check_metrics(&metrics, metrics_path);
+            check_events(&read(events_path), events_path);
+        }
+        [] => {
+            let env = ExpEnv::new(
+                aceso_model::zoo::gpt3_custom("bench", 4, 512, 8, 256, 8192, 64),
+                4,
+            );
+            let (result, report) = env
+                .run_aceso_observed(SearchOptions {
+                    max_iterations: 24,
+                    ..SearchOptions::default()
+                })
+                .unwrap_or_else(|e| fail(&format!("search failed: {e}")));
+            let path = write_bench_search(&result, &report);
+            let doc = Value::parse(&read(&path.display().to_string()))
+                .unwrap_or_else(|e| fail(&format!("BENCH_search.json: unparseable: {e:?}")));
+            let metrics = doc
+                .field("metrics")
+                .unwrap_or_else(|e| fail(&format!("BENCH_search.json: metrics: {e:?}")));
+            check_metrics(metrics, "BENCH_search.json");
+            check_events(&report.events_jsonl(), "search event stream");
+        }
+        _ => {
+            eprintln!("usage: obs_check [<metrics.json> <events.jsonl>]");
+            std::process::exit(2);
+        }
+    }
+    println!("obs_check: OK");
+}

@@ -15,6 +15,7 @@ use aceso_cluster::ClusterSpec;
 use aceso_config::ParallelConfig;
 use aceso_core::{AcesoSearch, SearchOptions, SearchResult};
 use aceso_model::ModelGraph;
+use aceso_obs::ObsReport;
 use aceso_profile::ProfileDb;
 use aceso_runtime::{SimReport, Simulator};
 use aceso_util::json::{obj, FromJson, JsonError, ToJson, Value};
@@ -54,6 +55,15 @@ impl ExpEnv {
     /// Runs the Aceso search with the scale-appropriate budget.
     pub fn run_aceso(&self, opts: SearchOptions) -> Result<SearchResult, aceso_core::SearchError> {
         AcesoSearch::new(&self.model, &self.cluster, &self.db, opts).run()
+    }
+
+    /// Runs the Aceso search with observability on, returning the metric
+    /// report alongside the result.
+    pub fn run_aceso_observed(
+        &self,
+        opts: SearchOptions,
+    ) -> Result<(SearchResult, ObsReport), aceso_core::SearchError> {
+        AcesoSearch::new(&self.model, &self.cluster, &self.db, opts).run_observed(true)
     }
 
     /// Runs the Megatron-LM grid search.
@@ -131,6 +141,38 @@ pub fn write_csv(name: &str, table: &aceso_util::table::Table) {
     let path = results_dir().join(name);
     std::fs::write(&path, table.to_csv()).expect("csv writes");
     println!("[saved {}]", path.display());
+}
+
+/// Writes the `BENCH_search.json` perf-trajectory snapshot at the
+/// workspace root: the search's headline numbers plus the full
+/// observability metric snapshot (`docs/OBSERVABILITY.md` schema). One
+/// file per checkout, overwritten on each run, so the trajectory is the
+/// file's git history.
+pub fn write_bench_search(result: &SearchResult, report: &ObsReport) -> PathBuf {
+    let doc = obj([
+        ("best_time", Value::Float(result.best_time)),
+        ("explored", Value::UInt(result.explored as u64)),
+        (
+            "wall_time_secs",
+            Value::Float(result.wall_time.as_secs_f64()),
+        ),
+        (
+            "configs_per_sec",
+            Value::Float(result.explored as f64 / result.wall_time.as_secs_f64().max(1e-9)),
+        ),
+        (
+            "metrics",
+            Value::parse(&report.metrics_json()).expect("own snapshot parses"),
+        ),
+    ]);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_search.json");
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).expect("BENCH_search.json writes");
+    println!("[saved {}]", path.display());
+    path
 }
 
 /// One Exp#1 measurement row, persisted for Exp#2/8/9 and Tables 3–5.

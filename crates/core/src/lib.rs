@@ -11,6 +11,8 @@
 //! polishes each accepted configuration, and independent pipeline stage
 //! counts are searched on parallel threads (§4.3).
 
+#![warn(missing_docs)]
+
 pub mod bottleneck;
 pub mod finetune;
 pub mod invariants;

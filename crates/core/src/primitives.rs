@@ -28,6 +28,15 @@ pub enum Resource {
 impl Resource {
     /// All resources.
     pub const ALL: [Resource; 3] = [Resource::Compute, Resource::Communication, Resource::Memory];
+
+    /// Lower-case name, as it appears in observability events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Compute => "compute",
+            Resource::Communication => "communication",
+            Resource::Memory => "memory",
+        }
+    }
 }
 
 /// Direction of a primitive's impact on one resource (Table 1 arrows).

@@ -8,6 +8,7 @@ use crate::trace::{AcceptedConfig, ConvergencePoint, IterationRecord, SearchTrac
 use aceso_cluster::ClusterSpec;
 use aceso_config::{balanced_init, ConfigError, ParallelConfig};
 use aceso_model::ModelGraph;
+use aceso_obs::{Counter, Event, HistKind, ObsReport, Recorder};
 use aceso_perf::{ConfigEstimate, PerfModel};
 use aceso_profile::ProfileDb;
 use aceso_util::SplitMix64;
@@ -191,6 +192,17 @@ impl<'a> AcesoSearch<'a> {
 
     /// Runs the search (Algorithm 1, parallelised over stage counts).
     pub fn run(&self) -> Result<SearchResult, SearchError> {
+        self.run_observed(false).map(|(r, _)| r)
+    }
+
+    /// Runs the search with observability: when `metrics` is on, every
+    /// sub-search records events and counters into a per-thread
+    /// [`Recorder`] (no locks on the hot path) and the recorders are
+    /// merged in stage-count order — so the returned [`ObsReport`]'s
+    /// event stream is byte-identical across identical seeded runs.
+    /// When `metrics` is off the instrumentation compiles down to a
+    /// branch per site and the report comes back empty.
+    pub fn run_observed(&self, metrics: bool) -> Result<(SearchResult, ObsReport), SearchError> {
         let start = Instant::now();
         let deadline = self.options.time_budget.map(|b| start + b);
         let counts = match (&self.options.initial, &self.options.stage_counts) {
@@ -199,12 +211,24 @@ impl<'a> AcesoSearch<'a> {
             (None, None) => self.default_stage_counts(),
         };
 
-        let mut runs: Vec<(Vec<ScoredConfig>, SearchTrace)> = Vec::new();
+        let mut report = ObsReport::new();
+        let head = Recorder::new(metrics);
+        head.emit(|| Event::SearchStart {
+            stage_counts: counts.clone(),
+            max_hops: self.options.max_hops,
+            max_iterations: self.options.max_iterations,
+            top_k: self.options.top_k,
+            seed: self.options.seed,
+            heuristic2: self.options.use_heuristic2,
+        });
+        report.absorb(head);
+
+        let mut runs: Vec<(Vec<ScoredConfig>, SearchTrace, Recorder)> = Vec::new();
         if self.options.parallel && counts.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = counts
                     .iter()
-                    .map(|&p| scope.spawn(move || self.search_stage_count(p, deadline)))
+                    .map(|&p| scope.spawn(move || self.search_stage_count(p, deadline, metrics)))
                     .collect();
                 for h in handles {
                     if let Ok(Some(r)) = h.join() {
@@ -214,7 +238,7 @@ impl<'a> AcesoSearch<'a> {
             });
         } else {
             for &p in &counts {
-                if let Some(r) = self.search_stage_count(p, deadline) {
+                if let Some(r) = self.search_stage_count(p, deadline, metrics) {
                     runs.push(r);
                 }
             }
@@ -224,11 +248,12 @@ impl<'a> AcesoSearch<'a> {
         let mut traces = Vec::new();
         let mut explored = 0usize;
         // Deterministic merge order regardless of thread completion order.
-        runs.sort_by_key(|(_, t)| t.stage_count);
-        for (configs, trace) in runs {
+        runs.sort_by_key(|(_, t, _)| t.stage_count);
+        for (configs, trace, rec) in runs {
             explored += trace.explored;
             traces.push(trace);
             all.extend(configs);
+            report.absorb(rec);
         }
         all.sort_by(|a, b| {
             a.score
@@ -237,15 +262,29 @@ impl<'a> AcesoSearch<'a> {
         });
         all.truncate(self.options.top_k.max(1));
         let best = all.first().ok_or(SearchError::NoFeasibleConfig)?.clone();
-        Ok(SearchResult {
-            best_config: best.config,
-            best_time: best.iteration_time,
-            best_oom: best.oom,
-            top_configs: all,
+
+        let tail = Recorder::new(metrics);
+        tail.emit(|| Event::SearchEnd {
             explored,
-            wall_time: start.elapsed(),
-            traces,
-        })
+            stage_counts_searched: traces.len(),
+            best_score: best.score,
+            best_fingerprint: best.config.semantic_hash(),
+        });
+        report.absorb(tail);
+        report.set_wall_time(start.elapsed().as_secs_f64());
+
+        Ok((
+            SearchResult {
+                best_config: best.config,
+                best_time: best.iteration_time,
+                best_oom: best.oom,
+                top_configs: all,
+                explored,
+                wall_time: start.elapsed(),
+                traces,
+            },
+            report,
+        ))
     }
 
     /// One stage-count search (Algorithm 1).
@@ -253,8 +292,12 @@ impl<'a> AcesoSearch<'a> {
         &self,
         p: usize,
         deadline: Option<Instant>,
-    ) -> Option<(Vec<ScoredConfig>, SearchTrace)> {
-        let pm = PerfModel::new(self.model, self.cluster, self.db);
+        metrics: bool,
+    ) -> Option<(Vec<ScoredConfig>, SearchTrace, Recorder)> {
+        // The recorder outlives everything that borrows it (`pm`, `ctx`);
+        // it is returned by value to the parent for deterministic merging.
+        let rec = Recorder::new(metrics);
+        let pm = PerfModel::new(self.model, self.cluster, self.db).with_obs(&rec);
         let init = match &self.options.initial {
             Some(c) if c.num_stages() == p => c.clone(),
             _ => balanced_init(self.model, self.cluster, p).ok()?,
@@ -263,6 +306,8 @@ impl<'a> AcesoSearch<'a> {
         let mut ctx = Ctx {
             pm,
             opts: &self.options,
+            rec: &rec,
+            stage_count: p,
             visited: HashSet::new(),
             unexplored: BinaryHeap::new(),
             explored: 0,
@@ -281,8 +326,14 @@ impl<'a> AcesoSearch<'a> {
         let mut best = ctx.scored(&config);
         trace.initial_score = best.score;
         ctx.explored += 1;
+        rec.count(Counter::StageSearches);
+        rec.emit(|| Event::StageStart {
+            stage_count: p,
+            init_fingerprint: config.semantic_hash(),
+            init_score: best.score,
+        });
 
-        for _iter in 0..self.options.max_iterations {
+        for iter in 0..self.options.max_iterations {
             if ctx.expired() {
                 break;
             }
@@ -293,6 +344,12 @@ impl<'a> AcesoSearch<'a> {
             let mut tried = 0usize;
             for b in bottlenecks.iter().take(self.options.max_bottlenecks) {
                 tried += 1;
+                rec.emit(|| Event::Bottleneck {
+                    stage_count: p,
+                    iteration: iter,
+                    stage: b.stage,
+                    resource: b.resources.first().map_or("-", |r| r.name()),
+                });
                 if let Some(hit) = ctx.multi_hop(&config, &est, 0, b, init_score) {
                     found = Some(hit);
                     break;
@@ -303,18 +360,37 @@ impl<'a> AcesoSearch<'a> {
                 hops_used: found.as_ref().map_or(0, |(_, h)| *h),
                 improved: found.is_some(),
             });
+            rec.count(Counter::IterationsTotal);
+            if found.is_some() {
+                rec.count(Counter::IterationsImproved);
+            }
+            rec.emit(|| Event::Iteration {
+                stage_count: p,
+                iteration: iter,
+                bottlenecks_tried: tried,
+                hops_used: found.as_ref().map_or(0, |(_, h)| *h),
+                improved: found.is_some(),
+            });
             match found {
                 Some((mut next, _)) => {
                     if self.options.fine_tune {
                         let pre_hash = next.semantic_hash();
                         let (tuned, evals) = fine_tune(&ctx.pm, next.clone());
                         ctx.explored += evals;
+                        rec.add(Counter::FinetuneEvals, evals as u64);
                         // Only adopt the tuned configuration when it is new
                         // (or a no-op): tuning two different configurations
                         // to the same optimum must not make the search
                         // accept one fingerprint twice.
                         let tuned_hash = tuned.semantic_hash();
-                        if tuned_hash == pre_hash || ctx.visited.insert(tuned_hash) {
+                        let adopted = tuned_hash == pre_hash || ctx.visited.insert(tuned_hash);
+                        rec.emit(|| Event::Finetune {
+                            stage_count: p,
+                            evaluations: evals,
+                            fingerprint: tuned_hash,
+                            adopted,
+                        });
+                        if adopted {
                             next = tuned;
                         }
                     }
@@ -336,7 +412,15 @@ impl<'a> AcesoSearch<'a> {
                     config = next;
                 }
                 None => match ctx.unexplored.pop() {
-                    Some(e) => config = e.config,
+                    Some(e) => {
+                        rec.count(Counter::Backtracks);
+                        rec.emit(|| Event::Backtrack {
+                            stage_count: p,
+                            fingerprint: e.config.semantic_hash(),
+                            score: e.score,
+                        });
+                        config = e.config;
+                    }
                     None => break,
                 },
             }
@@ -348,6 +432,13 @@ impl<'a> AcesoSearch<'a> {
         }
 
         trace.explored = ctx.explored;
+        rec.emit(|| Event::StageEnd {
+            stage_count: p,
+            iterations: trace.iterations.len(),
+            explored: ctx.explored,
+            best_score: best.score,
+            best_fingerprint: best.config.semantic_hash(),
+        });
         // Return the best plus the best few unexplored leftovers as the
         // top-k pool for this stage count.
         let mut tops = vec![best];
@@ -357,7 +448,8 @@ impl<'a> AcesoSearch<'a> {
                 None => break,
             }
         }
-        Some((tops, trace))
+        drop(ctx);
+        Some((tops, trace, rec))
     }
 }
 
@@ -365,6 +457,8 @@ impl<'a> AcesoSearch<'a> {
 struct Ctx<'a> {
     pm: PerfModel<'a>,
     opts: &'a SearchOptions,
+    rec: &'a Recorder,
+    stage_count: usize,
     visited: HashSet<u64>,
     unexplored: BinaryHeap<HeapEntry>,
     explored: usize,
@@ -431,14 +525,42 @@ impl Ctx<'_> {
                 ) {
                     let h = cand.config.semantic_hash();
                     if !self.visited.insert(h) {
+                        self.rec.count(Counter::CandidatesDeduped);
                         continue;
                     }
                     let cest = self.pm.evaluate_unchecked(&cand.config);
                     self.explored += 1;
+                    self.rec.count(Counter::CandidatesGenerated);
                     let score = cest.score();
                     if score < init_score {
+                        self.rec.count(Counter::CandidatesAccepted);
+                        self.rec.emit(|| Event::CandidateAccepted {
+                            stage_count: self.stage_count,
+                            fingerprint: h,
+                            score,
+                            bottleneck_stage: bottleneck.stage,
+                            primitive: cand.primitive.name(),
+                            primitives_applied: cand.primitives_applied,
+                            hop_depth: hop + cand.primitives_applied,
+                        });
+                        self.rec
+                            .count_primitive(cand.primitive.name(), cand.primitives_applied as u64);
+                        self.rec
+                            .observe(HistKind::ScoreDelta, (init_score - score) / init_score);
+                        self.rec
+                            .observe(HistKind::HopDepth, (hop + cand.primitives_applied) as f64);
                         return Some((cand.config, hop + cand.primitives_applied));
                     }
+                    self.rec.count(Counter::CandidatesRejected);
+                    self.rec.emit(|| Event::CandidateRejected {
+                        stage_count: self.stage_count,
+                        fingerprint: h,
+                        score,
+                        bottleneck_stage: bottleneck.stage,
+                        primitive: cand.primitive.name(),
+                        primitives_applied: cand.primitives_applied,
+                        hop_depth: hop + cand.primitives_applied,
+                    });
                     self.tie_counter += 1;
                     self.unexplored.push(HeapEntry {
                         score,

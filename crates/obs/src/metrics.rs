@@ -1,0 +1,414 @@
+//! Monotonic counters and fixed-bucket histograms.
+//!
+//! All metric identities the schema documents are enforced here or by
+//! the cross-crate tests: counters only ever increase, merging is
+//! commutative summation, and histogram buckets are compile-time
+//! constants so two runs bucket identically.
+
+use aceso_util::json::{obj, Value};
+use std::collections::BTreeMap;
+
+/// The fixed monotonic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Performance-model evaluations (checked + unchecked).
+    PerfEvaluations,
+    /// Performance-model evaluations that went through full validation.
+    PerfValidated,
+    /// Evaluations predicting out-of-memory.
+    OomPredictions,
+    /// Candidates generated and evaluated by the multi-hop search
+    /// (post-deduplication).
+    CandidatesGenerated,
+    /// Generated candidates that improved on their iteration's starting
+    /// score and were accepted.
+    CandidatesAccepted,
+    /// Generated candidates that did not improve and were parked.
+    CandidatesRejected,
+    /// Candidates skipped because their fingerprint was already visited.
+    CandidatesDeduped,
+    /// Algorithm-1 iterations run.
+    IterationsTotal,
+    /// Iterations that found an improving configuration.
+    IterationsImproved,
+    /// Configurations evaluated by the §4.2 fine-tuning pass.
+    FinetuneEvals,
+    /// Backtracks to parked configurations from the unexplored pool.
+    Backtracks,
+    /// Stage-count sub-searches started.
+    StageSearches,
+    /// Discrete-event simulator executions.
+    SimRuns,
+    /// Pipeline tasks executed by the simulator.
+    SimTasks,
+}
+
+impl Counter {
+    /// All counters, in snapshot order.
+    pub const ALL: [Counter; 14] = [
+        Counter::PerfEvaluations,
+        Counter::PerfValidated,
+        Counter::OomPredictions,
+        Counter::CandidatesGenerated,
+        Counter::CandidatesAccepted,
+        Counter::CandidatesRejected,
+        Counter::CandidatesDeduped,
+        Counter::IterationsTotal,
+        Counter::IterationsImproved,
+        Counter::FinetuneEvals,
+        Counter::Backtracks,
+        Counter::StageSearches,
+        Counter::SimRuns,
+        Counter::SimTasks,
+    ];
+
+    /// The counter's snapshot-key name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PerfEvaluations => "perf_evaluations",
+            Counter::PerfValidated => "perf_validated",
+            Counter::OomPredictions => "oom_predictions",
+            Counter::CandidatesGenerated => "candidates_generated",
+            Counter::CandidatesAccepted => "candidates_accepted",
+            Counter::CandidatesRejected => "candidates_rejected",
+            Counter::CandidatesDeduped => "candidates_deduped",
+            Counter::IterationsTotal => "iterations_total",
+            Counter::IterationsImproved => "iterations_improved",
+            Counter::FinetuneEvals => "finetune_evals",
+            Counter::Backtracks => "backtracks",
+            Counter::StageSearches => "stage_searches",
+            Counter::SimRuns => "sim_runs",
+            Counter::SimTasks => "sim_tasks",
+        }
+    }
+}
+
+/// The fixed histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKind {
+    /// Performance-model evaluation latency, microseconds (wall clock —
+    /// the one non-deterministic metric; excluded from the event
+    /// stream).
+    EvalLatencyUs,
+    /// Relative score improvement of accepted candidates,
+    /// `(init − new) / init`.
+    ScoreDelta,
+    /// Multi-hop depth of accepted candidates (Table-1 primitives
+    /// applied on the path).
+    HopDepth,
+}
+
+impl HistKind {
+    /// All histograms, in snapshot order.
+    pub const ALL: [HistKind; 3] = [
+        HistKind::EvalLatencyUs,
+        HistKind::ScoreDelta,
+        HistKind::HopDepth,
+    ];
+
+    /// The histogram's snapshot-key name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKind::EvalLatencyUs => "eval_latency_us",
+            HistKind::ScoreDelta => "score_delta",
+            HistKind::HopDepth => "hop_depth",
+        }
+    }
+
+    /// Upper bucket edges (inclusive); values above the last edge land
+    /// in an implicit overflow bucket.
+    pub fn edges(self) -> &'static [f64] {
+        match self {
+            HistKind::EvalLatencyUs => &[
+                1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+                10_000.0, 25_000.0, 50_000.0, 100_000.0,
+            ],
+            HistKind::ScoreDelta => &[1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.5, 1.0],
+            HistKind::HopDepth => &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 16.0],
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            HistKind::EvalLatencyUs => 0,
+            HistKind::ScoreDelta => 1,
+            HistKind::HopDepth => 2,
+        }
+    }
+}
+
+/// One fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    kind: HistKind,
+    /// One count per edge, plus the trailing overflow bucket.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new(kind: HistKind) -> Self {
+        Self {
+            kind,
+            buckets: vec![0; kind.edges().len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let edges = self.kind.edges();
+        let idx = edges.iter().position(|&e| v <= e).unwrap_or(edges.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram of the same kind into this one.
+    fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.kind, other.kind);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot as JSON: count/sum/min/max plus `{le, count}` buckets
+    /// (the final bucket has `le: null` — the overflow bucket).
+    pub fn to_json_value(&self) -> Value {
+        let edges = self.kind.edges();
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let le = edges.get(i).map_or(Value::Null, |&e| Value::Float(e));
+                obj([("le", le), ("count", Value::UInt(c))])
+            })
+            .collect();
+        obj([
+            ("count", Value::UInt(self.count)),
+            ("sum", Value::Float(self.sum)),
+            (
+                "min",
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.min)
+                },
+            ),
+            (
+                "max",
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.max)
+                },
+            ),
+            ("buckets", Value::Array(buckets)),
+        ])
+    }
+}
+
+/// A full metric set: fixed counters, the keyed `primitives_applied`
+/// counter family, and the fixed histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    counters: [u64; Counter::ALL.len()],
+    /// Accepted candidates by headline primitive, weighted by the
+    /// Table-1 applications each bundles.
+    primitives: BTreeMap<&'static str, u64>,
+    histograms: Vec<Histogram>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            counters: [0; Counter::ALL.len()],
+            primitives: BTreeMap::new(),
+            histograms: HistKind::ALL.iter().map(|&k| Histogram::new(k)).collect(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counters[Counter::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("counter in ALL")] += n;
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[Counter::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("counter in ALL")]
+    }
+
+    /// Adds `n` to the keyed `primitives_applied` family.
+    pub fn add_primitive(&mut self, name: &'static str, n: u64) {
+        *self.primitives.entry(name).or_insert(0) += n;
+    }
+
+    /// The keyed `primitives_applied` counters, sorted by key.
+    pub fn primitives(&self) -> &BTreeMap<&'static str, u64> {
+        &self.primitives
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&mut self, h: HistKind, v: f64) {
+        self.histograms[h.index()].observe(v);
+    }
+
+    /// The histogram of one kind.
+    pub fn histogram(&self, h: HistKind) -> &Histogram {
+        &self.histograms[h.index()]
+    }
+
+    /// Merges another metric set into this one (commutative sums).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (&k, &v) in &other.primitives {
+            *self.primitives.entry(k).or_insert(0) += v;
+        }
+        for (a, b) in self.histograms.iter_mut().zip(&other.histograms) {
+            a.merge(b);
+        }
+    }
+
+    /// Snapshot of all counters as a JSON object (schema order).
+    pub fn counters_json(&self) -> Value {
+        Value::Object(
+            Counter::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), Value::UInt(self.counter(c))))
+                .collect(),
+        )
+    }
+
+    /// Snapshot of all histograms as a JSON object (schema order).
+    pub fn histograms_json(&self) -> Value {
+        Value::Object(
+            HistKind::ALL
+                .iter()
+                .map(|&h| (h.name().to_string(), self.histogram(h).to_json_value()))
+                .collect(),
+        )
+    }
+
+    /// Snapshot of the keyed `primitives_applied` family as a JSON
+    /// object (sorted keys).
+    pub fn primitives_json(&self) -> Value {
+        Value::Object(
+            self.primitives
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), Value::UInt(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Metrics::default();
+        a.add(Counter::PerfEvaluations, 3);
+        a.add(Counter::CandidatesAccepted, 1);
+        let mut b = Metrics::default();
+        b.add(Counter::PerfEvaluations, 2);
+        b.add_primitive("inc-dp", 2);
+        a.merge(&b);
+        assert_eq!(a.counter(Counter::PerfEvaluations), 5);
+        assert_eq!(a.counter(Counter::CandidatesAccepted), 1);
+        assert_eq!(a.primitives()["inc-dp"], 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut m = Metrics::default();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            m.observe(HistKind::HopDepth, v);
+        }
+        let h = m.histogram(HistKind::HopDepth);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 26.5);
+        // 100.0 exceeds the last edge (16) → overflow bucket.
+        let v = h.to_json_value();
+        let buckets = v.field("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.last().unwrap().field("le").unwrap(), &Value::Null);
+        assert_eq!(
+            buckets
+                .last()
+                .unwrap()
+                .field("count")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_histogram_has_null_min_max() {
+        let m = Metrics::default();
+        let v = m.histogram(HistKind::ScoreDelta).to_json_value();
+        assert_eq!(v.field("min").unwrap(), &Value::Null);
+        assert_eq!(v.field("max").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn snapshots_cover_all_names() {
+        let m = Metrics::default();
+        let c = m.counters_json();
+        for counter in Counter::ALL {
+            assert!(c.get(counter.name()).is_some(), "{}", counter.name());
+        }
+        let h = m.histograms_json();
+        for hist in HistKind::ALL {
+            assert!(h.get(hist.name()).is_some(), "{}", hist.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(HistKind::ALL.iter().map(|h| h.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

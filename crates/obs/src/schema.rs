@@ -1,0 +1,308 @@
+//! The machine-checkable schema registry.
+//!
+//! [`EVENTS`], [`COUNTERS`], and [`HISTOGRAMS`] describe every event
+//! kind, field, counter, and histogram the crate can emit. Tests in
+//! this module enforce two directions of the contract:
+//!
+//! 1. the registry matches the serialiser
+//!    ([`Event::to_json_value`](crate::event::Event::to_json_value))
+//!    field-for-field, in order, and
+//! 2. every registry name appears in `docs/OBSERVABILITY.md`, so the
+//!    human-facing schema document cannot silently drift from the code.
+
+/// Version stamped into every metric snapshot as `schema_version`.
+/// Bump when an event field or metric name changes meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One documented field of an event kind.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldSpec {
+    /// JSON key of the field.
+    pub name: &'static str,
+    /// JSON type (`uint`, `int`, `float`, `string`, `bool`,
+    /// `array[uint]`).
+    pub ty: &'static str,
+    /// Unit or value domain, `-` when dimensionless.
+    pub unit: &'static str,
+}
+
+/// One documented event kind.
+#[derive(Debug, Clone, Copy)]
+pub struct EventSpec {
+    /// The `kind` tag of the event's JSONL line.
+    pub kind: &'static str,
+    /// What the event records.
+    pub doc: &'static str,
+    /// Payload fields in serialisation order (after `seq` and `kind`).
+    pub fields: &'static [FieldSpec],
+}
+
+const fn f(name: &'static str, ty: &'static str, unit: &'static str) -> FieldSpec {
+    FieldSpec { name, ty, unit }
+}
+
+/// Every event kind the crate can emit, in the order of
+/// [`Event::samples`](crate::event::Event::samples).
+pub const EVENTS: &[EventSpec] = &[
+    EventSpec {
+        kind: "search_start",
+        doc: "a full search started",
+        fields: &[
+            f("stage_counts", "array[uint]", "pipeline stages"),
+            f("max_hops", "uint", "hops"),
+            f("max_iterations", "uint", "iterations"),
+            f("top_k", "uint", "configs"),
+            f("seed", "uint", "-"),
+            f("heuristic2", "bool", "-"),
+        ],
+    },
+    EventSpec {
+        kind: "stage_start",
+        doc: "one stage-count sub-search started",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("init_fingerprint", "uint", "semantic hash"),
+            f("init_score", "float", "seconds"),
+        ],
+    },
+    EventSpec {
+        kind: "bottleneck",
+        doc: "a bottleneck was selected for alleviation (Heuristic-1)",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("iteration", "uint", "index"),
+            f("stage", "uint", "stage index"),
+            f("resource", "string", "compute|communication|memory"),
+        ],
+    },
+    EventSpec {
+        kind: "candidate_accepted",
+        doc: "a candidate improved the iteration's starting score and was accepted",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("fingerprint", "uint", "semantic hash"),
+            f("score", "float", "seconds"),
+            f("bottleneck_stage", "uint", "stage index"),
+            f("primitive", "string", "Table-1 name"),
+            f("primitives_applied", "uint", "primitives"),
+            f("hop_depth", "uint", "hops"),
+        ],
+    },
+    EventSpec {
+        kind: "candidate_rejected",
+        doc: "a candidate did not improve and was parked in the unexplored pool",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("fingerprint", "uint", "semantic hash"),
+            f("score", "float", "seconds"),
+            f("bottleneck_stage", "uint", "stage index"),
+            f("primitive", "string", "Table-1 name"),
+            f("primitives_applied", "uint", "primitives"),
+            f("hop_depth", "uint", "hops"),
+        ],
+    },
+    EventSpec {
+        kind: "iteration",
+        doc: "one iteration of Algorithm 1 finished",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("iteration", "uint", "index"),
+            f("bottlenecks_tried", "uint", "bottlenecks"),
+            f("hops_used", "uint", "hops"),
+            f("improved", "bool", "-"),
+        ],
+    },
+    EventSpec {
+        kind: "finetune",
+        doc: "the op-level fine-tuning pass ran on an accepted configuration",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("evaluations", "uint", "configs"),
+            f("fingerprint", "uint", "semantic hash"),
+            f("adopted", "bool", "-"),
+        ],
+    },
+    EventSpec {
+        kind: "backtrack",
+        doc: "the search backtracked to a parked configuration",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("fingerprint", "uint", "semantic hash"),
+            f("score", "float", "seconds"),
+        ],
+    },
+    EventSpec {
+        kind: "stage_end",
+        doc: "one stage-count sub-search finished",
+        fields: &[
+            f("stage_count", "uint", "pipeline stages"),
+            f("iterations", "uint", "iterations"),
+            f("explored", "uint", "configs"),
+            f("best_score", "float", "seconds"),
+            f("best_fingerprint", "uint", "semantic hash"),
+        ],
+    },
+    EventSpec {
+        kind: "search_end",
+        doc: "the full search finished",
+        fields: &[
+            f("explored", "uint", "configs"),
+            f("stage_counts_searched", "uint", "sub-searches"),
+            f("best_score", "float", "seconds"),
+            f("best_fingerprint", "uint", "semantic hash"),
+        ],
+    },
+    EventSpec {
+        kind: "sim_run",
+        doc: "the discrete-event simulator executed one configuration",
+        fields: &[
+            f("stages", "uint", "pipeline stages"),
+            f("microbatches", "uint", "microbatches"),
+            f("tasks", "uint", "tasks"),
+            f("iteration_time", "float", "seconds"),
+            f("peak_memory", "uint", "bytes"),
+            f("schedule", "string", "1f1b|gpipe"),
+            f("oom", "bool", "-"),
+        ],
+    },
+];
+
+/// Every counter name with its description, in snapshot order.
+pub const COUNTERS: &[(&str, &str)] = &[
+    ("perf_evaluations", "performance-model evaluations"),
+    ("perf_validated", "evaluations with full validation"),
+    ("oom_predictions", "evaluations predicting out-of-memory"),
+    ("candidates_generated", "candidates evaluated post-dedup"),
+    (
+        "candidates_accepted",
+        "candidates that improved and were accepted",
+    ),
+    (
+        "candidates_rejected",
+        "candidates parked in the unexplored pool",
+    ),
+    (
+        "candidates_deduped",
+        "candidates skipped as already visited",
+    ),
+    ("iterations_total", "Algorithm-1 iterations run"),
+    (
+        "iterations_improved",
+        "iterations that improved the configuration",
+    ),
+    ("finetune_evals", "configurations evaluated by fine-tuning"),
+    ("backtracks", "backtracks to parked configurations"),
+    ("stage_searches", "stage-count sub-searches started"),
+    ("sim_runs", "simulator executions"),
+    ("sim_tasks", "pipeline tasks executed by the simulator"),
+];
+
+/// Every histogram name with its unit and description, in snapshot
+/// order.
+pub const HISTOGRAMS: &[(&str, &str, &str)] = &[
+    (
+        "eval_latency_us",
+        "microseconds",
+        "perf-model evaluation latency (wall clock; metrics-only)",
+    ),
+    (
+        "score_delta",
+        "ratio",
+        "relative score improvement of accepted candidates",
+    ),
+    (
+        "hop_depth",
+        "hops",
+        "multi-hop depth of accepted candidates",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::metrics::{Counter, HistKind};
+    use aceso_util::json::Value;
+
+    /// Direction 1: the registry matches the serialiser exactly.
+    #[test]
+    fn registry_matches_serialiser_field_for_field() {
+        let samples = Event::samples();
+        assert_eq!(samples.len(), EVENTS.len(), "registry/variant count");
+        for (event, spec) in samples.iter().zip(EVENTS) {
+            assert_eq!(event.kind(), spec.kind);
+            let v = event.to_json_value();
+            let Value::Object(fields) = &v else {
+                panic!("event must serialise to an object")
+            };
+            let emitted: Vec<&str> = fields.iter().skip(1).map(|(k, _)| k.as_str()).collect();
+            let specced: Vec<&str> = spec.fields.iter().map(|f| f.name).collect();
+            assert_eq!(emitted, specced, "field order for {}", spec.kind);
+            for (field, fspec) in fields.iter().skip(1).zip(spec.fields) {
+                let ok = match fspec.ty {
+                    "uint" => matches!(field.1, Value::UInt(_)),
+                    "int" => matches!(field.1, Value::Int(_) | Value::UInt(_)),
+                    "float" => matches!(field.1, Value::Float(_)),
+                    "string" => matches!(field.1, Value::Str(_)),
+                    "bool" => matches!(field.1, Value::Bool(_)),
+                    "array[uint]" => matches!(field.1, Value::Array(_)),
+                    other => panic!("unknown spec type {other}"),
+                };
+                assert!(ok, "type of {}.{}", spec.kind, fspec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_counters_and_histograms() {
+        assert_eq!(COUNTERS.len(), Counter::ALL.len());
+        for (c, (name, _)) in Counter::ALL.iter().zip(COUNTERS) {
+            assert_eq!(c.name(), *name);
+        }
+        assert_eq!(HISTOGRAMS.len(), HistKind::ALL.len());
+        for (h, (name, _, _)) in HistKind::ALL.iter().zip(HISTOGRAMS) {
+            assert_eq!(h.name(), *name);
+        }
+    }
+
+    /// Direction 2: every registry name appears in the schema document.
+    #[test]
+    fn observability_doc_covers_registry() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OBSERVABILITY.md");
+        let doc =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        for spec in EVENTS {
+            assert!(
+                doc.contains(&format!("`{}`", spec.kind)),
+                "docs/OBSERVABILITY.md is missing event kind `{}`",
+                spec.kind
+            );
+            for field in spec.fields {
+                assert!(
+                    doc.contains(&format!("`{}`", field.name)),
+                    "docs/OBSERVABILITY.md is missing field `{}` of `{}`",
+                    field.name,
+                    spec.kind
+                );
+            }
+        }
+        for (name, _) in COUNTERS {
+            assert!(
+                doc.contains(&format!("`{name}`")),
+                "docs/OBSERVABILITY.md is missing counter `{name}`"
+            );
+        }
+        for (name, _, _) in HISTOGRAMS {
+            assert!(
+                doc.contains(&format!("`{name}`")),
+                "docs/OBSERVABILITY.md is missing histogram `{name}`"
+            );
+        }
+        assert!(
+            doc.contains(&format!("schema version: {SCHEMA_VERSION}"))
+                || doc.contains(&format!("`schema_version`: {SCHEMA_VERSION}"))
+                || doc.contains(&format!("schema_version` = {SCHEMA_VERSION}")),
+            "docs/OBSERVABILITY.md must state the current schema version"
+        );
+    }
+}

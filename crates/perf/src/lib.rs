@@ -11,6 +11,8 @@
 //! accuracy, only a faithful *ordering* of configurations and a resource
 //! breakdown to identify bottlenecks — the same stance the paper takes.
 
+#![warn(missing_docs)]
+
 pub mod estimate;
 pub mod model;
 

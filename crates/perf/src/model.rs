@@ -5,6 +5,7 @@ use aceso_cluster::{ClusterSpec, Collective, CommGroup};
 use aceso_config::validate::validate;
 use aceso_config::{ConfigError, OpParallel, ParallelConfig};
 use aceso_model::{Layout, ModelGraph, Operator, PartitionSpec, Scaling};
+use aceso_obs::{Counter, HistKind, Recorder};
 use aceso_profile::ProfileDb;
 use std::collections::HashMap;
 
@@ -23,6 +24,9 @@ pub struct PerfModel<'a> {
     db: &'a ProfileDb,
     /// Precomputed per-op profile signatures (hot-path lookup key).
     sigs: Vec<u64>,
+    /// Optional observability recorder; evaluation counters and latency
+    /// samples flow here when attached.
+    obs: Option<&'a Recorder>,
 }
 
 /// Effective layout of a tensor: sharding only exists when `tp > 1`.
@@ -51,7 +55,17 @@ impl<'a> PerfModel<'a> {
             cluster,
             db,
             sigs,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability recorder: every evaluation then counts
+    /// itself ([`Counter::PerfEvaluations`], [`Counter::PerfValidated`],
+    /// [`Counter::OomPredictions`]) and samples its wall-clock latency
+    /// into [`HistKind::EvalLatencyUs`].
+    pub fn with_obs(mut self, rec: &'a Recorder) -> Self {
+        self.obs = Some(rec);
+        self
     }
 
     /// The model being evaluated.
@@ -72,6 +86,9 @@ impl<'a> PerfModel<'a> {
     /// Validates and evaluates a configuration.
     pub fn evaluate(&self, config: &ParallelConfig) -> Result<ConfigEstimate, ConfigError> {
         validate(config, self.model, self.cluster)?;
+        if let Some(rec) = self.obs {
+            rec.count(Counter::PerfValidated);
+        }
         Ok(self.evaluate_unchecked(config))
     }
 
@@ -80,6 +97,23 @@ impl<'a> PerfModel<'a> {
     /// The multi-hop search validates once per primitive application and
     /// then scores many neighbours through this entry point.
     pub fn evaluate_unchecked(&self, config: &ParallelConfig) -> ConfigEstimate {
+        match self.obs {
+            Some(rec) if rec.enabled() => {
+                let start = std::time::Instant::now();
+                let est = self.evaluate_inner(config);
+                rec.observe(HistKind::EvalLatencyUs, start.elapsed().as_secs_f64() * 1e6);
+                rec.count(Counter::PerfEvaluations);
+                if est.oom() {
+                    rec.count(Counter::OomPredictions);
+                }
+                est
+            }
+            _ => self.evaluate_inner(config),
+        }
+    }
+
+    /// The uninstrumented evaluation body.
+    fn evaluate_inner(&self, config: &ParallelConfig) -> ConfigEstimate {
         let p = config.num_stages();
         let n_mb = config.num_microbatches(self.model.global_batch);
         let mut stages: Vec<StageEstimate> = Vec::with_capacity(p);

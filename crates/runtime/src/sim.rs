@@ -7,6 +7,7 @@ use crate::timeline::TimelineEvent;
 use aceso_cluster::ClusterSpec;
 use aceso_config::{ConfigError, ParallelConfig};
 use aceso_model::ModelGraph;
+use aceso_obs::{Counter, Event, Recorder};
 use aceso_perf::PerfModel;
 use aceso_profile::ProfileDb;
 use aceso_util::hash::keyed_jitter;
@@ -87,7 +88,7 @@ impl<'a> Simulator<'a> {
     /// Executes one training iteration of `config` and reports measured
     /// time, memory, throughput and TFLOPS.
     pub fn execute(&self, config: &ParallelConfig) -> Result<SimReport, ConfigError> {
-        self.run(config, None)
+        self.run(config, None, None)
     }
 
     /// Like [`Self::execute`], additionally returning the per-task
@@ -97,14 +98,25 @@ impl<'a> Simulator<'a> {
         config: &ParallelConfig,
     ) -> Result<(SimReport, Vec<TimelineEvent>), ConfigError> {
         let mut events = Vec::new();
-        let report = self.run(config, Some(&mut events))?;
+        let report = self.run(config, Some(&mut events), None)?;
         Ok((report, events))
+    }
+
+    /// Like [`Self::execute`], recording a `sim_run` event plus the
+    /// simulator counters into `rec`.
+    pub fn execute_observed(
+        &self,
+        config: &ParallelConfig,
+        rec: &Recorder,
+    ) -> Result<SimReport, ConfigError> {
+        self.run(config, None, Some(rec))
     }
 
     fn run(
         &self,
         config: &ParallelConfig,
         mut timeline: Option<&mut Vec<TimelineEvent>>,
+        obs: Option<&Recorder>,
     ) -> Result<SimReport, ConfigError> {
         let pm = PerfModel::new(self.model, self.cluster, self.db);
         // Reuse the validated per-stage cost ingredients; the composition
@@ -249,6 +261,22 @@ impl<'a> Simulator<'a> {
         let throughput = self.model.global_batch as f64 / iteration_time;
         let tflops_per_gpu =
             self.model.iteration_flops() / iteration_time / self.cluster.total_gpus() as f64 / 1e12;
+        if let Some(rec) = obs {
+            rec.count(Counter::SimRuns);
+            rec.add(Counter::SimTasks, total_tasks as u64);
+            rec.emit(|| Event::SimRun {
+                stages: p,
+                microbatches: n,
+                tasks: total_tasks,
+                iteration_time,
+                peak_memory,
+                schedule: match self.options.schedule {
+                    PipelineSchedule::OneFOneB => "1f1b",
+                    PipelineSchedule::GPipe => "gpipe",
+                },
+                oom: peak_memory > self.cluster.device.mem_bytes,
+            });
+        }
         Ok(SimReport {
             iteration_time,
             peak_memory_per_stage,

@@ -9,6 +9,8 @@
 //! * [`profile`] — simulated operator profiler and reusable profile DB.
 //! * [`perf`] — the analytic performance model (§3.3, Eq. 1 & 2).
 //! * [`search`] — the Aceso search: primitives, heuristics, multi-hop (§3–4).
+//! * [`obs`] — structured observability: events, counters, histograms
+//!   (schema in `docs/OBSERVABILITY.md`).
 //! * [`baselines`] — Megatron-LM grid, Alpa-like two-level DP, pure DP,
 //!   random-primitive search.
 //! * [`runtime`] — discrete-event 1F1B execution simulator ("actual" runs).
@@ -36,10 +38,17 @@ pub use aceso_cluster as cluster;
 pub use aceso_config as config;
 pub use aceso_core as search;
 pub use aceso_model as model;
+pub use aceso_obs as obs;
 pub use aceso_perf as perf;
 pub use aceso_profile as profile;
 pub use aceso_runtime as runtime;
 pub use aceso_util as util;
+
+// Compile and run the README's quickstart code block as a doctest so the
+// front-page example can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {

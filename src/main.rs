@@ -11,6 +11,7 @@
 
 use aceso::model::zoo::{gpt3, t5, wide_resnet, Gpt3Size, T5Size, WideResnetSize};
 use aceso::model::ModelGraph;
+use aceso::obs::Recorder;
 use aceso::prelude::*;
 use aceso::runtime::ExecutionPlan;
 use aceso_audit::AuditOptions;
@@ -24,11 +25,15 @@ struct Args {
     stages: Option<usize>,
     zero: bool,
     plan_out: Option<String>,
+    metrics: bool,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
 }
 
 const USAGE: &str = "\
-usage: aceso --model <name> [--gpus N] [--budget-secs S] [--stages P]
-             [--zero] [--plan-out FILE]
+usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
+             [--zero] [--plan-out FILE] [--metrics-out FILE]
+             [--events-out FILE] [--no-metrics]
        aceso audit [--smoke] [--json FILE] [--epsilon E]
 
 models: gpt3-{0.35b,1.3b,2.6b,6.7b,13b}, t5-{0.77b,3b,6b,11b,22b},
@@ -39,6 +44,11 @@ flags:
   --stages P        pin the pipeline stage count (default: search 1..)
   --zero            enable the ZeRO-1 extension primitives
   --plan-out FILE   write the per-rank execution plan as JSON
+  --metrics-out FILE  write the metric snapshot as JSON (see
+                      docs/OBSERVABILITY.md for the schema)
+  --events-out FILE   write the structured event stream as JSONL
+  --no-metrics      disable observability entirely (skips the summary
+                    table; the two flags above then write empty files)
 
 audit: run the static invariant analyzers (primitive signatures,
 transform validity, perf-model consistency, search-trace replay) over
@@ -98,7 +108,7 @@ fn run_audit(mut it: impl Iterator<Item = String>) -> ! {
     std::process::exit(if report.clean() { 0 } else { 1 });
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         model: String::new(),
         gpus: 8,
@@ -106,8 +116,10 @@ fn parse_args() -> Result<Args, String> {
         stages: None,
         zero: false,
         plan_out: None,
+        metrics: true,
+        metrics_out: None,
+        events_out: None,
     };
-    let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
@@ -131,6 +143,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--zero" => args.zero = true,
             "--plan-out" => args.plan_out = Some(value("--plan-out")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--events-out" => args.events_out = Some(value("--events-out")?),
+            "--no-metrics" => args.metrics = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -173,11 +188,18 @@ fn build_model(name: &str) -> Option<ModelGraph> {
 
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
-    if argv.peek().map(String::as_str) == Some("audit") {
-        argv.next();
-        run_audit(argv);
+    match argv.peek().map(String::as_str) {
+        Some("audit") => {
+            argv.next();
+            run_audit(argv);
+        }
+        // `aceso search` is the explicit form of the default command.
+        Some("search") => {
+            argv.next();
+        }
+        _ => {}
     }
-    let args = match parse_args() {
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(msg) => {
             if !msg.is_empty() {
@@ -212,13 +234,14 @@ fn main() {
     options.gen_options.enable_zero = args.zero;
 
     eprintln!("searching ({} s budget)...", args.budget_secs);
-    let result = match AcesoSearch::new(&model, &cluster, &db, options).run() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
+    let (result, mut obs) =
+        match AcesoSearch::new(&model, &cluster, &db, options).run_observed(args.metrics) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
     println!(
         "explored {} configurations in {:.1?}; best found:",
         result.explored, result.wall_time
@@ -228,9 +251,11 @@ fn main() {
         aceso::config::describe(&result.best_config, Some(&model))
     );
 
+    let sim_rec = Recorder::new(args.metrics);
     let report = Simulator::with_defaults(&model, &cluster, &db)
-        .execute(&result.best_config)
+        .execute_observed(&result.best_config, &sim_rec)
         .expect("searched configs execute");
+    obs.absorb(sim_rec);
     println!(
         "predicted iteration {:.3} s | simulated {:.3} s | {:.1} samples/s | \
          {:.1} TFLOPS/GPU | peak mem {:.1} GB ({})",
@@ -241,6 +266,24 @@ fn main() {
         report.peak_memory as f64 / 1e9,
         if report.ok() { "fits" } else { "OOM" },
     );
+
+    if args.metrics {
+        print!("{}", obs.summary_table());
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, obs.metrics_json()).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = &args.events_out {
+        std::fs::write(path, obs.events_jsonl()).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote event stream to {path}");
+    }
 
     if let Some(path) = args.plan_out {
         let plan = ExecutionPlan::build(&model, &cluster, &result.best_config)

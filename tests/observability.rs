@@ -1,0 +1,144 @@
+//! Integration tests for the observability layer (`aceso-obs`) as wired
+//! through the real search stack: determinism of the event stream, the
+//! counter consistency invariant, and equivalence of observed vs
+//! unobserved searches.
+
+use aceso::obs::{Counter, Recorder, SCHEMA_VERSION};
+use aceso::prelude::*;
+use aceso::search::SearchOptions;
+use aceso::util::json::Value;
+
+fn small_gpt() -> ModelGraph {
+    aceso::model::zoo::gpt3_custom("obs-gpt", 4, 512, 8, 256, 8192, 64)
+}
+
+fn quick_opts() -> SearchOptions {
+    SearchOptions {
+        max_iterations: 12,
+        ..SearchOptions::default()
+    }
+}
+
+/// Two identical seeded searches must emit byte-identical event streams
+/// and identical deterministic counters — even with the parallel
+/// stage-count search enabled (recorders are merged in deterministic
+/// stage-count order, and events carry no wall-clock fields).
+#[test]
+fn identical_searches_emit_byte_identical_event_streams() {
+    let model = small_gpt();
+    let cluster = ClusterSpec::v100(1, 4);
+    let db = ProfileDb::build(&model, &cluster);
+
+    let run = || {
+        AcesoSearch::new(&model, &cluster, &db, quick_opts())
+            .run_observed(true)
+            .expect("search succeeds")
+    };
+    let (res_a, obs_a) = run();
+    let (res_b, obs_b) = run();
+
+    assert_eq!(res_a.best_time, res_b.best_time);
+    assert_eq!(obs_a.events_jsonl(), obs_b.events_jsonl());
+    for c in Counter::ALL {
+        assert_eq!(
+            obs_a.counter(c),
+            obs_b.counter(c),
+            "counter {} must be deterministic",
+            c.name()
+        );
+    }
+}
+
+/// Every generated (post-dedup, evaluated) candidate is either accepted
+/// or rejected — the documented consistency invariant.
+#[test]
+fn candidate_counters_are_consistent() {
+    let model = small_gpt();
+    let cluster = ClusterSpec::v100(1, 4);
+    let db = ProfileDb::build(&model, &cluster);
+    let (_, obs) = AcesoSearch::new(&model, &cluster, &db, quick_opts())
+        .run_observed(true)
+        .expect("search succeeds");
+
+    assert!(obs.counter(Counter::PerfEvaluations) > 0);
+    assert_eq!(
+        obs.counter(Counter::CandidatesAccepted) + obs.counter(Counter::CandidatesRejected),
+        obs.counter(Counter::CandidatesGenerated),
+        "accepted + rejected must equal generated"
+    );
+}
+
+/// Observability must not change what the search finds: the plain and
+/// observed entry points return the same best configuration.
+#[test]
+fn observed_search_matches_unobserved_search() {
+    let model = small_gpt();
+    let cluster = ClusterSpec::v100(1, 4);
+    let db = ProfileDb::build(&model, &cluster);
+
+    let plain = AcesoSearch::new(&model, &cluster, &db, quick_opts())
+        .run()
+        .expect("search succeeds");
+    let (observed, obs) = AcesoSearch::new(&model, &cluster, &db, quick_opts())
+        .run_observed(true)
+        .expect("search succeeds");
+
+    assert_eq!(plain.best_time, observed.best_time);
+    assert_eq!(
+        plain.best_config.semantic_hash(),
+        observed.best_config.semantic_hash()
+    );
+    assert_eq!(plain.explored, observed.explored);
+    assert!(obs.counter(Counter::StageSearches) >= 1);
+}
+
+/// The rendered artifacts are valid per the documented schema: every
+/// JSONL line parses with contiguous `seq`, and the metric snapshot
+/// carries the current `schema_version`.
+#[test]
+fn rendered_artifacts_parse_and_carry_schema_version() {
+    let model = small_gpt();
+    let cluster = ClusterSpec::v100(1, 4);
+    let db = ProfileDb::build(&model, &cluster);
+    let (_, mut obs) = AcesoSearch::new(&model, &cluster, &db, quick_opts())
+        .run_observed(true)
+        .expect("search succeeds");
+
+    // Exercise the simulator wiring too, as the CLI does.
+    let rec = Recorder::new(true);
+    let result = AcesoSearch::new(&model, &cluster, &db, quick_opts())
+        .run()
+        .expect("search succeeds");
+    Simulator::with_defaults(&model, &cluster, &db)
+        .execute_observed(&result.best_config, &rec)
+        .expect("executes");
+    obs.absorb(rec);
+    assert!(obs.counter(Counter::SimRuns) >= 1);
+    assert!(obs.counter(Counter::SimTasks) > 0);
+
+    for (i, line) in obs.events_jsonl().lines().enumerate() {
+        let v = Value::parse(line).expect("every event line parses");
+        assert_eq!(v.field("seq").unwrap().as_u64().unwrap(), i as u64);
+        assert!(!v.field("kind").unwrap().as_str().unwrap().is_empty());
+    }
+    let snapshot = Value::parse(&obs.metrics_json()).expect("snapshot parses");
+    assert_eq!(
+        snapshot.field("schema_version").unwrap().as_u64().unwrap(),
+        SCHEMA_VERSION
+    );
+}
+
+/// A disabled recorder run produces no events and zero counters.
+#[test]
+fn disabled_metrics_record_nothing() {
+    let model = small_gpt();
+    let cluster = ClusterSpec::v100(1, 4);
+    let db = ProfileDb::build(&model, &cluster);
+    let (_, obs) = AcesoSearch::new(&model, &cluster, &db, quick_opts())
+        .run_observed(false)
+        .expect("search succeeds");
+    assert!(obs.events().is_empty());
+    for c in Counter::ALL {
+        assert_eq!(obs.counter(c), 0);
+    }
+}
