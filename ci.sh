@@ -1,9 +1,12 @@
 #!/bin/sh
 # CI gate: formatting, lints (warnings are errors), rustdoc (warnings
 # are errors), the tier-1 build + test cycle in both invariant modes,
-# an audit smoke run that must come back with zero findings, and an
-# observability smoke run whose artifacts must validate against the
-# documented schema.
+# the full-corpus differential perf-equivalence sweep (incremental vs
+# from-scratch evaluation must stay bit-identical), an audit smoke run
+# that must come back with zero findings, an observability smoke run
+# whose artifacts must validate against the documented schema, and a
+# perf regression gate against the committed BENCH_search.json (mean
+# evaluation latency must not regress by more than 1.25x).
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,6 +30,9 @@ cargo test -q
 echo "==> tests with debug-invariants enabled"
 cargo test -q --workspace --features aceso-core/debug-invariants
 
+echo "==> differential perf-equivalence sweep (full corpus)"
+cargo test -q --release --test perf_equivalence -- --include-ignored
+
 echo "==> audit smoke run"
 cargo run --release --quiet --bin aceso -- audit --smoke
 
@@ -39,5 +45,8 @@ cargo run --release --quiet --bin aceso -- search \
 cargo run --release --quiet -p aceso-bench --bin obs_check -- \
     "$OBS_TMP/metrics.json" "$OBS_TMP/events.jsonl"
 rm -rf "$OBS_TMP"
+
+echo "==> perf regression gate (vs committed BENCH_search.json)"
+cargo run --release --quiet -p aceso-bench --bin obs_check
 
 echo "CI OK"

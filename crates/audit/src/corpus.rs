@@ -6,8 +6,12 @@
 
 use aceso_cluster::ClusterSpec;
 use aceso_config::{balanced_init, ParallelConfig};
+use aceso_core::primitives::{generate_with, GenOptions};
+use aceso_core::{Primitive, Resource};
 use aceso_model::{zoo, ModelGraph};
+use aceso_perf::PerfModel;
 use aceso_profile::ProfileDb;
+use aceso_util::SplitMix64;
 
 /// One (model, cluster) pair plus the starting configurations to audit.
 pub struct CorpusSample {
@@ -117,6 +121,47 @@ pub fn corpus(smoke: bool) -> Vec<CorpusSample> {
     samples
 }
 
+/// A seeded random primitive walk from `start`: at each step, candidates
+/// are generated for a random (primitive, stage, resource) triple and a
+/// random candidate becomes the next configuration. Returns every
+/// configuration visited, `start` first — all structurally valid by the
+/// generator's invariants.
+///
+/// This is the walk the differential perf-equivalence suite replays: the
+/// same sampler the transform analyzer audits, reused as a source of
+/// realistic search-shaped configuration sequences.
+pub fn primitive_walk(
+    sample: &CorpusSample,
+    start: &ParallelConfig,
+    seed: u64,
+    steps: usize,
+) -> Vec<ParallelConfig> {
+    let pm = PerfModel::new(&sample.model, &sample.cluster, &sample.db);
+    let mut rng = SplitMix64::new(seed);
+    let mut config = start.clone();
+    let mut visited = vec![config.clone()];
+    for _ in 0..steps {
+        let est = pm.evaluate_unchecked(&config);
+        let stage = rng.next_below(config.num_stages());
+        let prim = *rng.choose(&Primitive::EXTENDED).expect("nonempty");
+        let resource = *rng.choose(&Resource::ALL).expect("nonempty");
+        let candidates = generate_with(
+            &pm,
+            &config,
+            &est,
+            prim,
+            stage,
+            resource,
+            GenOptions::default(),
+        );
+        if let Some(next) = rng.choose(&candidates) {
+            config = next.config.clone();
+            visited.push(config.clone());
+        }
+    }
+    visited
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +187,21 @@ mod tests {
         let labels: Vec<&str> = samples.iter().map(|s| s.label.as_str()).collect();
         assert!(labels.iter().any(|l| l.contains("v100-1x4")));
         assert!(labels.iter().any(|l| l.contains("v100-1x8")));
+    }
+
+    #[test]
+    fn primitive_walk_is_deterministic_and_valid() {
+        let samples = corpus(true);
+        let s = &samples[0];
+        let a = primitive_walk(s, &s.configs[0], 7, 6);
+        let b = primitive_walk(s, &s.configs[0], 7, 6);
+        assert!(a.len() > 1, "walk must make progress");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.semantic_hash(), y.semantic_hash());
+        }
+        for c in &a {
+            assert!(aceso_config::validate::validate(c, &s.model, &s.cluster).is_ok());
+        }
     }
 }

@@ -7,9 +7,11 @@
 //!   non-zero `perf_evaluations`, the candidate counters are consistent
 //!   (`accepted + rejected == generated`), and every event line carries
 //!   a `kind` known to the schema registry with a contiguous `seq`.
-//! * `obs_check` (no args) — run a small metrics-enabled search and
-//!   write the `BENCH_search.json` snapshot at the workspace root, then
-//!   validate it with the same rules.
+//! * `obs_check` (no args) — run a small metrics-enabled search, gate it
+//!   against the *committed* `BENCH_search.json` (mean `eval_latency_us`
+//!   must not regress by more than 1.25×; `configs_per_sec` is reported
+//!   alongside), then refresh the snapshot and validate it with the same
+//!   rules.
 //!
 //! Exits non-zero with a diagnostic on the first violated rule; `ci.sh`
 //! runs both modes.
@@ -54,6 +56,13 @@ fn check_metrics(snapshot: &Value, origin: &str) {
             "{origin}: accepted ({accepted}) + rejected ({rejected}) != generated ({generated})"
         ));
     }
+    let incremental = counter(snapshot, "perf_incremental_hits");
+    let full = counter(snapshot, "perf_full_evals");
+    if incremental + full != evals {
+        fail(&format!(
+            "{origin}: incremental ({incremental}) + full ({full}) != evaluations ({evals})"
+        ));
+    }
     println!(
         "obs_check: {origin}: {evals} evaluations, {generated} candidates \
          ({accepted} accepted + {rejected} rejected) -- consistent"
@@ -96,6 +105,69 @@ fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
 }
 
+/// The perf-gate figures carried by one `BENCH_search.json` snapshot.
+struct PerfFigures {
+    /// Mean perf-model evaluation latency, microseconds.
+    mean_latency_us: f64,
+    /// End-to-end search throughput, configurations per second.
+    configs_per_sec: f64,
+}
+
+/// Extracts the perf-gate figures from a `BENCH_search.json` document.
+/// Tolerates older schema versions: the gate only needs the latency
+/// histogram and the throughput figure, both present since v1.
+fn perf_figures(doc: &Value, origin: &str) -> PerfFigures {
+    let hist = doc
+        .field("metrics")
+        .and_then(|m| m.field("histograms"))
+        .and_then(|h| h.field("eval_latency_us"))
+        .unwrap_or_else(|e| fail(&format!("{origin}: eval_latency_us histogram: {e:?}")));
+    let count = hist
+        .field("count")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|e| fail(&format!("{origin}: eval_latency_us count: {e:?}")));
+    let sum = hist
+        .field("sum")
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|e| fail(&format!("{origin}: eval_latency_us sum: {e:?}")));
+    if count == 0 {
+        fail(&format!("{origin}: empty eval_latency_us histogram"));
+    }
+    let configs_per_sec = doc
+        .field("configs_per_sec")
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|e| fail(&format!("{origin}: configs_per_sec: {e:?}")));
+    PerfFigures {
+        mean_latency_us: sum / count as f64,
+        configs_per_sec,
+    }
+}
+
+/// Maximum tolerated mean-latency regression vs the committed baseline.
+const MAX_LATENCY_REGRESSION: f64 = 1.25;
+
+/// Compares the fresh run against the committed baseline figures. Mean
+/// evaluation latency is the gate (wall-clock throughput is reported but
+/// not gated — it is far noisier on shared CI machines).
+fn perf_gate(baseline: &PerfFigures, fresh: &PerfFigures) {
+    let ratio = fresh.mean_latency_us / baseline.mean_latency_us;
+    println!(
+        "obs_check: perf gate: mean eval_latency_us {:.3} -> {:.3} ({ratio:.2}x), \
+         configs_per_sec {:.0} -> {:.0}",
+        baseline.mean_latency_us,
+        fresh.mean_latency_us,
+        baseline.configs_per_sec,
+        fresh.configs_per_sec,
+    );
+    if ratio > MAX_LATENCY_REGRESSION {
+        fail(&format!(
+            "mean eval_latency_us regressed {ratio:.2}x over the committed \
+             BENCH_search.json (limit {MAX_LATENCY_REGRESSION}x) — \
+             investigate before refreshing the baseline"
+        ));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -106,6 +178,17 @@ fn main() {
             check_events(&read(events_path), events_path);
         }
         [] => {
+            // Capture the committed baseline before the refresh clobbers it.
+            let baseline_path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_search.json");
+            let baseline = std::fs::read_to_string(&baseline_path).ok().map(|text| {
+                let doc = Value::parse(&text).unwrap_or_else(|e| {
+                    fail(&format!("committed BENCH_search.json: unparseable: {e:?}"))
+                });
+                perf_figures(&doc, "committed BENCH_search.json")
+            });
+
             let env = ExpEnv::new(
                 aceso_model::zoo::gpt3_custom("bench", 4, 512, 8, 256, 8192, 64),
                 4,
@@ -124,6 +207,10 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("BENCH_search.json: metrics: {e:?}")));
             check_metrics(metrics, "BENCH_search.json");
             check_events(&report.events_jsonl(), "search event stream");
+            match baseline {
+                Some(b) => perf_gate(&b, &perf_figures(&doc, "fresh BENCH_search.json")),
+                None => println!("obs_check: no committed baseline — perf gate skipped"),
+            }
         }
         _ => {
             eprintln!("usage: obs_check [<metrics.json> <events.jsonl>]");

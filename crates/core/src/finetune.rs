@@ -13,11 +13,15 @@
 
 use crate::transform::{self, Mechanism};
 use aceso_config::ParallelConfig;
-use aceso_perf::PerfModel;
+use aceso_perf::Evaluator;
 
 /// Runs both fine-tuning passes; returns a configuration scoring no worse
 /// than the input, plus the number of configurations evaluated.
-pub fn fine_tune(pm: &PerfModel<'_>, config: ParallelConfig) -> (ParallelConfig, usize) {
+///
+/// Generic over the scoring oracle so the search can pass its memoizing
+/// [`aceso_perf::CachedEvaluator`] while tests and baselines keep using a
+/// plain [`aceso_perf::PerfModel`].
+pub fn fine_tune<E: Evaluator>(pm: &E, config: ParallelConfig) -> (ParallelConfig, usize) {
     let mut best = config;
     let mut best_score = pm.evaluate_unchecked(&best).score();
     let mut evals = 1usize;
@@ -78,6 +82,7 @@ mod tests {
     use aceso_config::balanced_init;
     use aceso_config::validate::validate;
     use aceso_model::zoo::gpt3_custom;
+    use aceso_perf::PerfModel;
     use aceso_profile::ProfileDb;
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::transform::{self, Mechanism};
 use aceso_config::ParallelConfig;
-use aceso_perf::{ConfigEstimate, PerfModel};
+use aceso_perf::{ConfigEstimate, Evaluator};
 
 /// The three hardware resources of the trading view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -263,8 +263,8 @@ fn partners_by_slack(est: &ConfigEstimate, stage: usize, resource: Resource) -> 
 /// Several argument values may be plausible (how many ops to move, which
 /// donors to tap); all are emitted and the caller ranks them by estimated
 /// performance (Heuristic-2's best-performance-first).
-pub fn generate(
-    pm: &PerfModel<'_>,
+pub fn generate<E: Evaluator>(
+    pm: &E,
     config: &ParallelConfig,
     est: &ConfigEstimate,
     prim: Primitive,
@@ -283,8 +283,8 @@ pub fn generate(
 }
 
 /// [`generate`] with explicit combination toggles.
-pub fn generate_with(
-    pm: &PerfModel<'_>,
+pub fn generate_with<E: Evaluator>(
+    pm: &E,
     config: &ParallelConfig,
     est: &ConfigEstimate,
     prim: Primitive,
@@ -483,8 +483,8 @@ fn relay_move(
 
 /// inc-rc argument choice (§4.1): flag largest-stash ops until the stage's
 /// predicted memory fits the device, using Eq. 1 arithmetic directly.
-fn greedy_recompute_to_fit(
-    pm: &PerfModel<'_>,
+fn greedy_recompute_to_fit<E: Evaluator>(
+    pm: &E,
     config: &ParallelConfig,
     est: &ConfigEstimate,
     stage: usize,
@@ -529,8 +529,8 @@ fn greedy_recompute_to_fit(
 
 /// dec-rc argument choice: clear smallest-stash flags while staying within
 /// the device's memory headroom.
-fn greedy_uncompute_in_headroom(
-    pm: &PerfModel<'_>,
+fn greedy_uncompute_in_headroom<E: Evaluator>(
+    pm: &E,
     config: &ParallelConfig,
     est: &ConfigEstimate,
     stage: usize,
@@ -578,7 +578,7 @@ fn greedy_uncompute_in_headroom(
 
 /// Attached recompute check (§4.3): after any primitive, re-fit recompute
 /// flags on every stage whose memory the primitive disturbed.
-pub fn rc_fixup(pm: &PerfModel<'_>, config: ParallelConfig) -> ParallelConfig {
+pub fn rc_fixup<E: Evaluator>(pm: &E, config: ParallelConfig) -> ParallelConfig {
     let est = pm.evaluate_unchecked(&config);
     let mut cfg = config;
     for stage in 0..cfg.stages.len() {
@@ -599,6 +599,7 @@ mod tests {
     use aceso_config::validate::validate;
     use aceso_model::zoo::gpt3_custom;
     use aceso_model::ModelGraph;
+    use aceso_perf::PerfModel;
     use aceso_profile::ProfileDb;
 
     fn setup() -> (ModelGraph, ClusterSpec) {

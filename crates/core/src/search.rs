@@ -9,7 +9,7 @@ use aceso_cluster::ClusterSpec;
 use aceso_config::{balanced_init, ConfigError, ParallelConfig};
 use aceso_model::ModelGraph;
 use aceso_obs::{Counter, Event, HistKind, ObsReport, Recorder};
-use aceso_perf::{ConfigEstimate, PerfModel};
+use aceso_perf::{CachedEvaluator, ConfigEstimate, Evaluator, PerfModel};
 use aceso_profile::ProfileDb;
 use aceso_util::SplitMix64;
 use std::collections::{BinaryHeap, HashSet};
@@ -294,17 +294,21 @@ impl<'a> AcesoSearch<'a> {
         deadline: Option<Instant>,
         metrics: bool,
     ) -> Option<(Vec<ScoredConfig>, SearchTrace, Recorder)> {
-        // The recorder outlives everything that borrows it (`pm`, `ctx`);
+        // The recorder outlives everything that borrows it (`ev`, `ctx`);
         // it is returned by value to the parent for deterministic merging.
         let rec = Recorder::new(metrics);
-        let pm = PerfModel::new(self.model, self.cluster, self.db).with_obs(&rec);
+        // Per-thread memoizing evaluator: primitives touch at most two
+        // stages, so most candidate scores reuse cached stage estimates
+        // (bit-identical to scoring from scratch).
+        let ev =
+            CachedEvaluator::new(PerfModel::new(self.model, self.cluster, self.db).with_obs(&rec));
         let init = match &self.options.initial {
             Some(c) if c.num_stages() == p => c.clone(),
             _ => balanced_init(self.model, self.cluster, p).ok()?,
         };
         let start = Instant::now();
         let mut ctx = Ctx {
-            pm,
+            ev,
             opts: &self.options,
             rec: &rec,
             stage_count: p,
@@ -337,7 +341,7 @@ impl<'a> AcesoSearch<'a> {
             if ctx.expired() {
                 break;
             }
-            let est = ctx.pm.evaluate_unchecked(&config);
+            let est = ctx.ev.evaluate_unchecked(&config);
             let init_score = est.score();
             let bottlenecks = ranked_bottlenecks(&est);
             let mut found: Option<(ParallelConfig, usize)> = None;
@@ -375,7 +379,7 @@ impl<'a> AcesoSearch<'a> {
                 Some((mut next, _)) => {
                     if self.options.fine_tune {
                         let pre_hash = next.semantic_hash();
-                        let (tuned, evals) = fine_tune(&ctx.pm, next.clone());
+                        let (tuned, evals) = fine_tune(&ctx.ev, next.clone());
                         ctx.explored += evals;
                         rec.add(Counter::FinetuneEvals, evals as u64);
                         // Only adopt the tuned configuration when it is new
@@ -455,7 +459,7 @@ impl<'a> AcesoSearch<'a> {
 
 /// Mutable state of one stage-count search.
 struct Ctx<'a> {
-    pm: PerfModel<'a>,
+    ev: CachedEvaluator<'a>,
     opts: &'a SearchOptions,
     rec: &'a Recorder,
     stage_count: usize,
@@ -473,7 +477,7 @@ impl Ctx<'_> {
     }
 
     fn scored(&self, config: &ParallelConfig) -> ScoredConfig {
-        let est = self.pm.evaluate_unchecked(config);
+        let est = self.ev.evaluate_unchecked(config);
         ScoredConfig {
             config: config.clone(),
             score: est.score(),
@@ -515,7 +519,7 @@ impl Ctx<'_> {
             let mut pool: Vec<(f64, usize, ParallelConfig, ConfigEstimate)> = Vec::new();
             for prim in prims {
                 for cand in generate_with(
-                    &self.pm,
+                    &self.ev,
                     config,
                     est,
                     prim,
@@ -528,7 +532,7 @@ impl Ctx<'_> {
                         self.rec.count(Counter::CandidatesDeduped);
                         continue;
                     }
-                    let cest = self.pm.evaluate_unchecked(&cand.config);
+                    let cest = self.ev.evaluate_unchecked(&cand.config);
                     self.explored += 1;
                     self.rec.count(Counter::CandidatesGenerated);
                     let score = cest.score();

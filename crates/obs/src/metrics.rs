@@ -13,8 +13,12 @@ use std::collections::BTreeMap;
 pub enum Counter {
     /// Performance-model evaluations (checked + unchecked).
     PerfEvaluations,
-    /// Performance-model evaluations that went through full validation.
-    PerfValidated,
+    /// Evaluations served incrementally: at least one per-stage estimate
+    /// was reused from the `CachedEvaluator`'s memo table.
+    PerfIncrementalHits,
+    /// Evaluations that estimated every stage from scratch (cached-path
+    /// cold misses plus every uncached `PerfModel` evaluation).
+    PerfFullEvals,
     /// Evaluations predicting out-of-memory.
     OomPredictions,
     /// Candidates generated and evaluated by the multi-hop search
@@ -45,9 +49,10 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 15] = [
         Counter::PerfEvaluations,
-        Counter::PerfValidated,
+        Counter::PerfIncrementalHits,
+        Counter::PerfFullEvals,
         Counter::OomPredictions,
         Counter::CandidatesGenerated,
         Counter::CandidatesAccepted,
@@ -66,7 +71,8 @@ impl Counter {
     pub fn name(self) -> &'static str {
         match self {
             Counter::PerfEvaluations => "perf_evaluations",
-            Counter::PerfValidated => "perf_validated",
+            Counter::PerfIncrementalHits => "perf_incremental_hits",
+            Counter::PerfFullEvals => "perf_full_evals",
             Counter::OomPredictions => "oom_predictions",
             Counter::CandidatesGenerated => "candidates_generated",
             Counter::CandidatesAccepted => "candidates_accepted",

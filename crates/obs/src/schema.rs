@@ -12,7 +12,11 @@
 
 /// Version stamped into every metric snapshot as `schema_version`.
 /// Bump when an event field or metric name changes meaning.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the always-zero `perf_validated` counter was removed and the
+/// incremental-evaluation counters `perf_incremental_hits` /
+/// `perf_full_evals` were added.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]
@@ -170,7 +174,14 @@ pub const EVENTS: &[EventSpec] = &[
 /// Every counter name with its description, in snapshot order.
 pub const COUNTERS: &[(&str, &str)] = &[
     ("perf_evaluations", "performance-model evaluations"),
-    ("perf_validated", "evaluations with full validation"),
+    (
+        "perf_incremental_hits",
+        "evaluations that reused at least one cached per-stage estimate",
+    ),
+    (
+        "perf_full_evals",
+        "evaluations that estimated every stage from scratch",
+    ),
     ("oom_predictions", "evaluations predicting out-of-memory"),
     ("candidates_generated", "candidates evaluated post-dedup"),
     (

@@ -13,8 +13,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cached;
 pub mod estimate;
+pub mod grid;
 pub mod model;
 
+pub use cached::{CachedEvaluator, Evaluator};
 pub use estimate::{ConfigEstimate, StageEstimate};
+pub use grid::LatencyGrid;
 pub use model::PerfModel;

@@ -1,13 +1,14 @@
 //! The performance-model implementation.
 
 use crate::estimate::{ConfigEstimate, StageEstimate};
+use crate::grid::LatencyGrid;
 use aceso_cluster::{ClusterSpec, Collective, CommGroup};
 use aceso_config::validate::validate;
 use aceso_config::{ConfigError, OpParallel, ParallelConfig};
 use aceso_model::{Layout, ModelGraph, Operator, PartitionSpec, Scaling};
 use aceso_obs::{Counter, HistKind, Recorder};
 use aceso_profile::ProfileDb;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Deliberate pessimism of the reserved-memory estimate (§3.3): the max
 /// per-op working set is tripled and a fixed CUDA-context/allocator-pool
@@ -24,6 +25,8 @@ pub struct PerfModel<'a> {
     db: &'a ProfileDb,
     /// Precomputed per-op profile signatures (hot-path lookup key).
     sigs: Vec<u64>,
+    /// SoA forward-latency grid (bit-identical fast path over `db`).
+    grid: LatencyGrid,
     /// Optional observability recorder; evaluation counters and latency
     /// samples flow here when attached.
     obs: Option<&'a Recorder>,
@@ -49,23 +52,31 @@ fn elems_per_rank(elems: u64, layout: Layout, scaling: Scaling, tp: u32) -> u64 
 impl<'a> PerfModel<'a> {
     /// Creates a performance model over a profiled database.
     pub fn new(model: &'a ModelGraph, cluster: &'a ClusterSpec, db: &'a ProfileDb) -> Self {
-        let sigs = model.ops.iter().map(ProfileDb::op_signature).collect();
+        let sigs: Vec<u64> = model.ops.iter().map(ProfileDb::op_signature).collect();
+        let grid = LatencyGrid::build(model, cluster, db, &sigs);
         Self {
             model,
             cluster,
             db,
             sigs,
+            grid,
             obs: None,
         }
     }
 
     /// Attaches an observability recorder: every evaluation then counts
-    /// itself ([`Counter::PerfEvaluations`], [`Counter::PerfValidated`],
+    /// itself ([`Counter::PerfEvaluations`], [`Counter::PerfFullEvals`],
     /// [`Counter::OomPredictions`]) and samples its wall-clock latency
     /// into [`HistKind::EvalLatencyUs`].
     pub fn with_obs(mut self, rec: &'a Recorder) -> Self {
         self.obs = Some(rec);
         self
+    }
+
+    /// The attached recorder, if any (shared with [`crate::CachedEvaluator`]
+    /// so the incremental path counts into the same sink).
+    pub(crate) fn recorder(&self) -> Option<&'a Recorder> {
+        self.obs
     }
 
     /// The model being evaluated.
@@ -86,9 +97,6 @@ impl<'a> PerfModel<'a> {
     /// Validates and evaluates a configuration.
     pub fn evaluate(&self, config: &ParallelConfig) -> Result<ConfigEstimate, ConfigError> {
         validate(config, self.model, self.cluster)?;
-        if let Some(rec) = self.obs {
-            rec.count(Counter::PerfValidated);
-        }
         Ok(self.evaluate_unchecked(config))
     }
 
@@ -103,6 +111,7 @@ impl<'a> PerfModel<'a> {
                 let est = self.evaluate_inner(config);
                 rec.observe(HistKind::EvalLatencyUs, start.elapsed().as_secs_f64() * 1e6);
                 rec.count(Counter::PerfEvaluations);
+                rec.count(Counter::PerfFullEvals);
                 if est.oom() {
                     rec.count(Counter::OomPredictions);
                 }
@@ -112,37 +121,61 @@ impl<'a> PerfModel<'a> {
         }
     }
 
-    /// The uninstrumented evaluation body.
+    /// The uninstrumented evaluation body: every stage from scratch.
     fn evaluate_inner(&self, config: &ParallelConfig) -> ConfigEstimate {
         let p = config.num_stages();
-        let n_mb = config.num_microbatches(self.model.global_batch);
         let mut stages: Vec<StageEstimate> = Vec::with_capacity(p);
+        for i in 0..p {
+            stages.push(self.stage_with_boundaries(config, i));
+        }
+        self.assemble(config, stages)
+    }
 
-        for (i, stage) in config.stages.iter().enumerate() {
-            let range = config.device_range(i);
-            let mut est = self.stage_breakdown(config, i);
+    /// One stage's breakdown with its boundary p2p folded in — the
+    /// memoizable unit of evaluation. Everything here depends only on the
+    /// stage's content, its first global device id, the predecessor's
+    /// trailing data-parallel degree and whether a successor exists (the
+    /// [`crate::CachedEvaluator`] cache key); position-dependent fields
+    /// (`in_flight`, `mem_total`, `stage_time`) are assigned by
+    /// [`Self::assemble`].
+    pub(crate) fn stage_with_boundaries(&self, config: &ParallelConfig, i: usize) -> StageEstimate {
+        let p = config.num_stages();
+        let range = config.device_range(i);
+        let mut est = self.stage_breakdown(config, i);
 
-            // Boundary p2p with the next stage: activations forward,
-            // gradients backward; both endpoints spend the transfer time.
-            if i + 1 < p {
-                let next_range = config.device_range(i + 1);
-                let t = self.boundary_p2p(config, i, range.end() - 1, next_range.start);
-                est.comm_fwd += t;
-                est.comm_bwd += t;
-            }
-            if i > 0 {
-                let prev_range = config.device_range(i - 1);
-                let t = self.boundary_p2p(config, i - 1, prev_range.end() - 1, range.start);
-                est.comm_fwd += t;
-                est.comm_bwd += t;
-            }
-            est.in_flight = p - i;
-            est.mem_total = est.mem_params
-                + est.mem_opt
-                + est.mem_act_per_mb * est.in_flight as u64
-                + est.mem_reserved;
-            let _ = stage;
-            stages.push(est);
+        // Boundary p2p with the next stage: activations forward,
+        // gradients backward; both endpoints spend the transfer time.
+        if i + 1 < p {
+            let next_range = config.device_range(i + 1);
+            let t = self.boundary_p2p(config, i, range.end() - 1, next_range.start);
+            est.comm_fwd += t;
+            est.comm_bwd += t;
+        }
+        if i > 0 {
+            let prev_range = config.device_range(i - 1);
+            let t = self.boundary_p2p(config, i - 1, prev_range.end() - 1, range.start);
+            est.comm_fwd += t;
+            est.comm_bwd += t;
+        }
+        est
+    }
+
+    /// Recombines per-stage estimates into the configuration-level
+    /// prediction: assigns the position-dependent fields, runs the Eq. 2
+    /// roll-up and the max scans. Shared by the full and the incremental
+    /// path, so both produce bit-identical [`ConfigEstimate`]s from equal
+    /// inputs (the floating-point summation order is fixed: stage order).
+    pub(crate) fn assemble(
+        &self,
+        config: &ParallelConfig,
+        mut stages: Vec<StageEstimate>,
+    ) -> ConfigEstimate {
+        let p = config.num_stages();
+        let n_mb = config.num_microbatches(self.model.global_batch);
+        for (i, s) in stages.iter_mut().enumerate() {
+            s.in_flight = p - i;
+            s.mem_total =
+                s.mem_params + s.mem_opt + s.mem_act_per_mb * s.in_flight as u64 + s.mem_reserved;
         }
 
         // Eq. 2: per-stage time = pipeline warmup (one microbatch's forward
@@ -209,9 +242,11 @@ impl<'a> PerfModel<'a> {
             stage_time: 0.0,
         };
         // Gradient-sync payload per (tp, dp) mesh, bucketed like DDP does.
-        let mut grad_buckets: HashMap<(u32, u32), u64> = HashMap::new();
+        // Ordered maps: `dp_sync` sums floats in bucket-iteration order, and
+        // the incremental path must reproduce the full path bit-for-bit.
+        let mut grad_buckets: BTreeMap<(u32, u32), u64> = BTreeMap::new();
         // ZeRO-1 parameter all-gather payload per mesh.
-        let mut zero_buckets: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut zero_buckets: BTreeMap<(u32, u32), u64> = BTreeMap::new();
         let mut prev: Option<(&Operator, &PartitionSpec, OpParallel)> = None;
 
         for (j, para) in stage.ops.iter().enumerate() {
@@ -222,9 +257,16 @@ impl<'a> PerfModel<'a> {
             let per_dev_batch = m / u64::from(para.dp);
 
             // Compute (backward ≈ 2× forward; recompute re-runs forward).
+            // The SoA grid serves power-of-two keys without touching the
+            // lock-guarded database; misses fall back to the identical
+            // database value.
             let f = self
-                .db
-                .op_fwd_time_sig(self.sigs[g], op, para.tp, dim, per_dev_batch);
+                .grid
+                .lookup(g, para.tp, dim, per_dev_batch)
+                .unwrap_or_else(|| {
+                    self.db
+                        .op_fwd_time_sig(self.sigs[g], op, para.tp, dim, per_dev_batch)
+                });
             est.comp_fwd += f;
             est.comp_bwd += 2.0 * f + if para.recompute { f } else { 0.0 };
 

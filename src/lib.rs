@@ -14,6 +14,8 @@
 //! * [`baselines`] — Megatron-LM grid, Alpa-like two-level DP, pure DP,
 //!   random-primitive search.
 //! * [`runtime`] — discrete-event 1F1B execution simulator ("actual" runs).
+//! * [`audit`] — static invariant analysis over the primitive table,
+//!   transforms, perf model and search traces.
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@
 //! );
 //! ```
 
+pub use aceso_audit as audit;
 pub use aceso_baselines as baselines;
 pub use aceso_cluster as cluster;
 pub use aceso_config as config;

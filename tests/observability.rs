@@ -128,6 +128,57 @@ fn rendered_artifacts_parse_and_carry_schema_version() {
     );
 }
 
+/// Every counter in the schema must be reachable through a production
+/// code path: after a scenario suite covering observed search (with its
+/// incremental-evaluation hot path), simulation, and an out-of-memory
+/// prediction, **all** schema counters are nonzero. A counter this suite
+/// cannot move is silently dead — remove it from the schema (with a
+/// version bump) or wire it up; `perf_validated` died exactly this way
+/// in schema v2.
+#[test]
+fn no_counter_is_silently_dead() {
+    let model = small_gpt();
+    let cluster = ClusterSpec::v100(1, 4);
+    let db = ProfileDb::build(&model, &cluster);
+
+    // Scenario 1: a full observed search — evaluation, candidate,
+    // iteration, fine-tune, backtrack and stage-search counters, plus
+    // the incremental-hit / full-eval split from the CachedEvaluator.
+    let (result, mut obs) = AcesoSearch::new(&model, &cluster, &db, quick_opts())
+        .run_observed(true)
+        .expect("search succeeds");
+
+    let rec = Recorder::new(true);
+
+    // Scenario 2: simulate the best configuration — sim counters.
+    Simulator::with_defaults(&model, &cluster, &db)
+        .execute_observed(&result.best_config, &rec)
+        .expect("executes");
+
+    // Scenario 3: grow the microbatch until the perf model predicts an
+    // out-of-memory configuration — oom_predictions.
+    let pm = PerfModel::new(&model, &cluster, &db).with_obs(&rec);
+    let mut oversized = aceso::config::balanced_init(&model, &cluster, 2).expect("balanced init");
+    while !pm.evaluate_unchecked(&oversized).oom() {
+        oversized.microbatch *= 2;
+        assert!(
+            oversized.microbatch < 1 << 30,
+            "could not construct an OOM-predicted configuration"
+        );
+    }
+
+    obs.absorb(rec);
+    for c in Counter::ALL {
+        assert!(
+            obs.counter(c) > 0,
+            "counter `{}` stayed zero across the scenario suite — it is \
+             silently dead; wire it to a production path or drop it from \
+             the schema with a version bump",
+            c.name()
+        );
+    }
+}
+
 /// A disabled recorder run produces no events and zero counters.
 #[test]
 fn disabled_metrics_record_nothing() {
