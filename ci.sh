@@ -5,8 +5,9 @@
 # from-scratch evaluation must stay bit-identical), an audit smoke run
 # that must come back with zero findings, an observability smoke run
 # whose artifacts must validate against the documented schema, and a
-# perf regression gate against the committed BENCH_search.json (mean
-# evaluation latency must not regress by more than 1.25x).
+# perf regression gate against the committed BENCH_search.json (median
+# of three runs; mean evaluation latency must not regress by more than
+# 1.5x).
 set -eu
 
 cd "$(dirname "$0")"
@@ -45,6 +46,30 @@ cargo run --release --quiet --bin aceso -- search \
 cargo run --release --quiet -p aceso-bench --bin obs_check -- \
     "$OBS_TMP/metrics.json" "$OBS_TMP/events.jsonl"
 rm -rf "$OBS_TMP"
+
+echo "==> serve smoke: daemon round-trip with schema-validated artifacts"
+SERVE_TMP=$(mktemp -d)
+cargo run --release --quiet --bin aceso -- serve \
+    --addr 127.0.0.1:0 --workers 2 >"$SERVE_TMP/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$SERVE_TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "daemon never reported its address"; kill "$SERVE_PID"; exit 1; }
+cargo run --release --quiet --bin aceso -- submit \
+    --addr "$ADDR" --model gpt3-0.35b --gpus 4 --iterations 24 \
+    --metrics-out "$SERVE_TMP/metrics.json" \
+    --events-out "$SERVE_TMP/events.jsonl" >/dev/null
+cargo run --release --quiet -p aceso-bench --bin obs_check -- \
+    "$SERVE_TMP/metrics.json" "$SERVE_TMP/events.jsonl"
+cargo run --release --quiet --bin aceso -- submit --addr "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+grep -q "daemon drained" "$SERVE_TMP/serve.log" || {
+    echo "daemon did not drain cleanly"; exit 1; }
+rm -rf "$SERVE_TMP"
 
 echo "==> perf regression gate (vs committed BENCH_search.json)"
 cargo run --release --quiet -p aceso-bench --bin obs_check

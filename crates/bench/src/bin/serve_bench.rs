@@ -1,0 +1,89 @@
+//! Serve-mode latency harness (not a paper experiment): measures what
+//! the cross-request profile cache buys by submitting the same job to an
+//! in-process loopback daemon cold (cache miss) and warm (cache hit),
+//! and reports end-to-end plus profiling-phase latency for both.
+//!
+//! ```console
+//! $ cargo run --release -p aceso-bench --bin serve_bench [model] [gpus]
+//! ```
+
+use aceso_serve::{shutdown, submit, Request, ServeOptions, Server};
+use aceso_util::table::Table;
+use std::time::Instant;
+
+fn main() {
+    let model = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gpt3-2.6b".into());
+    let gpus = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("gpus parses"))
+        .unwrap_or(8);
+    if aceso_model::zoo::by_name(&model).is_none() {
+        eprintln!("unknown model `{model}`");
+        std::process::exit(2);
+    }
+
+    let server = Server::bind("127.0.0.1:0", ServeOptions::default()).expect("binds");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let req = Request {
+        model: model.clone(),
+        gpus,
+        max_iterations: 16,
+        ..Request::default()
+    };
+    eprintln!("submitting {model} on {gpus} GPUs to loopback daemon at {addr}...");
+    let mut table = Table::new(
+        "serve-mode latency: cold (cache miss) vs warm (cache hit)",
+        &[
+            "request",
+            "cache",
+            "end-to-end",
+            "profiling phase",
+            "explored",
+        ],
+    );
+    let mut timings = Vec::new();
+    for label in ["cold", "warm-1", "warm-2"] {
+        let t0 = Instant::now();
+        let resp = submit(&addr, &req).expect("submit succeeds");
+        let total = t0.elapsed();
+        let micros = resp
+            .result
+            .field("profile_micros")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let explored = resp.result.field("explored").unwrap().as_u64().unwrap();
+        table.row(&[
+            label.to_string(),
+            resp.cache.clone(),
+            format!("{total:.2?}"),
+            format!("{micros} µs"),
+            explored.to_string(),
+        ]);
+        timings.push((label, resp.cache.clone(), total, micros));
+    }
+    shutdown(&addr).expect("shutdown");
+    daemon.join().expect("daemon drains");
+
+    print!("{}", table.render());
+    let (_, _, cold_total, cold_micros) = &timings[0];
+    let warm_micros = timings[1..].iter().map(|t| t.3).min().unwrap();
+    let warm_total = timings[1..].iter().map(|t| t.2).min().unwrap();
+    println!(
+        "profile-cache speedup: {:.1}x on the profiling phase ({} µs -> {} µs), \
+         end-to-end {:.2?} -> {:.2?}",
+        *cold_micros as f64 / warm_micros.max(1) as f64,
+        cold_micros,
+        warm_micros,
+        cold_total,
+        warm_total,
+    );
+    assert!(
+        warm_micros < *cold_micros,
+        "cache hit must cut the profiling phase"
+    );
+}

@@ -9,7 +9,7 @@ use aceso_cluster::ClusterSpec;
 use aceso_config::{balanced_init, ConfigError, ParallelConfig};
 use aceso_model::ModelGraph;
 use aceso_obs::{Counter, Event, HistKind, ObsReport, Recorder};
-use aceso_perf::{CachedEvaluator, ConfigEstimate, Evaluator, PerfModel};
+use aceso_perf::{CachedEvaluator, ConfigEstimate, Evaluator, P2pMemo, PerfModel};
 use aceso_profile::ProfileDb;
 use aceso_util::SplitMix64;
 use std::collections::{BinaryHeap, HashSet};
@@ -224,11 +224,20 @@ impl<'a> AcesoSearch<'a> {
         report.absorb(head);
 
         let mut runs: Vec<(Vec<ScoredConfig>, SearchTrace, Recorder)> = Vec::new();
+        // One boundary-p2p memo for the whole search: sub-searches at
+        // different stage counts cut the model at many of the same device
+        // boundaries, so whichever thread computes a (bytes, from, to)
+        // triple first serves every other thread. Values are exact
+        // `ProfileDb::p2p_time` results — sharing cannot change any score.
+        let p2p = P2pMemo::new();
         if self.options.parallel && counts.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = counts
                     .iter()
-                    .map(|&p| scope.spawn(move || self.search_stage_count(p, deadline, metrics)))
+                    .map(|&p| {
+                        let p2p = &p2p;
+                        scope.spawn(move || self.search_stage_count(p, deadline, metrics, p2p))
+                    })
                     .collect();
                 for h in handles {
                     if let Ok(Some(r)) = h.join() {
@@ -238,7 +247,7 @@ impl<'a> AcesoSearch<'a> {
             });
         } else {
             for &p in &counts {
-                if let Some(r) = self.search_stage_count(p, deadline, metrics) {
+                if let Some(r) = self.search_stage_count(p, deadline, metrics, &p2p) {
                     runs.push(r);
                 }
             }
@@ -293,15 +302,20 @@ impl<'a> AcesoSearch<'a> {
         p: usize,
         deadline: Option<Instant>,
         metrics: bool,
+        p2p: &P2pMemo,
     ) -> Option<(Vec<ScoredConfig>, SearchTrace, Recorder)> {
         // The recorder outlives everything that borrows it (`ev`, `ctx`);
         // it is returned by value to the parent for deterministic merging.
         let rec = Recorder::new(metrics);
         // Per-thread memoizing evaluator: primitives touch at most two
         // stages, so most candidate scores reuse cached stage estimates
-        // (bit-identical to scoring from scratch).
-        let ev =
-            CachedEvaluator::new(PerfModel::new(self.model, self.cluster, self.db).with_obs(&rec));
+        // (bit-identical to scoring from scratch). Boundary p2p estimates
+        // additionally go through the search-wide shared memo.
+        let ev = CachedEvaluator::new(
+            PerfModel::new(self.model, self.cluster, self.db)
+                .with_obs(&rec)
+                .with_p2p_memo(p2p),
+        );
         let init = match &self.options.initial {
             Some(c) if c.num_stages() == p => c.clone(),
             _ => balanced_init(self.model, self.cluster, p).ok()?,

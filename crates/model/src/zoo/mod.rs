@@ -14,3 +14,34 @@ pub use deepnet::deepnet;
 pub use gpt3::{gpt3, gpt3_custom, Gpt3Size};
 pub use t5::{t5, t5_custom, T5Size};
 pub use wide_resnet::{wide_resnet, wide_resnet_custom, WideResnetSize};
+
+/// Resolves a CLI/server model name (e.g. `gpt3-1.3b`, `t5-3b`,
+/// `wresnet-0.5b`, `deepnet-24l`) to its zoo builder. Returns `None`
+/// for unknown names — the shared vocabulary of `aceso search`,
+/// `aceso submit`, and the serve daemon.
+pub fn by_name(name: &str) -> Option<crate::ModelGraph> {
+    match name {
+        "gpt3-0.35b" => Some(gpt3(Gpt3Size::S0_35b)),
+        "gpt3-1.3b" => Some(gpt3(Gpt3Size::S1_3b)),
+        "gpt3-2.6b" => Some(gpt3(Gpt3Size::S2_6b)),
+        "gpt3-6.7b" => Some(gpt3(Gpt3Size::S6_7b)),
+        "gpt3-13b" => Some(gpt3(Gpt3Size::S13b)),
+        "t5-0.77b" => Some(t5(T5Size::S0_77b)),
+        "t5-3b" => Some(t5(T5Size::S3b)),
+        "t5-6b" => Some(t5(T5Size::S6b)),
+        "t5-11b" => Some(t5(T5Size::S11b)),
+        "t5-22b" => Some(t5(T5Size::S22b)),
+        "wresnet-0.5b" => Some(wide_resnet(WideResnetSize::S0_5b)),
+        "wresnet-2b" => Some(wide_resnet(WideResnetSize::S2b)),
+        "wresnet-4b" => Some(wide_resnet(WideResnetSize::S4b)),
+        "wresnet-6.8b" => Some(wide_resnet(WideResnetSize::S6_8b)),
+        "wresnet-13b" => Some(wide_resnet(WideResnetSize::S13b)),
+        other => {
+            let layers = other
+                .strip_prefix("deepnet-")
+                .and_then(|s| s.strip_suffix('l'))
+                .and_then(|s| s.parse::<usize>().ok())?;
+            Some(deepnet(layers))
+        }
+    }
+}

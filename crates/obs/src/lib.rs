@@ -35,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod event;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod schema;
 
+pub use diff::{render_diff, DiffError};
 pub use event::Event;
 pub use metrics::{Counter, HistKind, Histogram, Metrics};
 pub use recorder::Recorder;

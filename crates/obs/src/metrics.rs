@@ -45,11 +45,22 @@ pub enum Counter {
     SimRuns,
     /// Pipeline tasks executed by the simulator.
     SimTasks,
+    /// Serve-mode requests resolved from the cross-request
+    /// `ProfileCache` without rebuilding the `ProfileDb`.
+    ProfileCacheHits,
+    /// Serve-mode requests that had to build (or partially rebuild) a
+    /// `ProfileDb` before searching.
+    ProfileCacheMisses,
+    /// Well-formed search requests accepted by the serve daemon.
+    ServeRequests,
+    /// Requests rejected by the serve daemon (backpressure, budget, or
+    /// validation failures).
+    ServeRejected,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::PerfEvaluations,
         Counter::PerfIncrementalHits,
         Counter::PerfFullEvals,
@@ -65,6 +76,10 @@ impl Counter {
         Counter::StageSearches,
         Counter::SimRuns,
         Counter::SimTasks,
+        Counter::ProfileCacheHits,
+        Counter::ProfileCacheMisses,
+        Counter::ServeRequests,
+        Counter::ServeRejected,
     ];
 
     /// The counter's snapshot-key name.
@@ -85,6 +100,10 @@ impl Counter {
             Counter::StageSearches => "stage_searches",
             Counter::SimRuns => "sim_runs",
             Counter::SimTasks => "sim_tasks",
+            Counter::ProfileCacheHits => "profile_cache_hits",
+            Counter::ProfileCacheMisses => "profile_cache_misses",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeRejected => "serve_rejected",
         }
     }
 }

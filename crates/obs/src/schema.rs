@@ -16,7 +16,11 @@
 /// v2: the always-zero `perf_validated` counter was removed and the
 /// incremental-evaluation counters `perf_incremental_hits` /
 /// `perf_full_evals` were added.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: the serve-daemon counters `profile_cache_hits` /
+/// `profile_cache_misses` / `serve_requests` / `serve_rejected` were
+/// added (they stay zero in library-only runs).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]
@@ -206,6 +210,22 @@ pub const COUNTERS: &[(&str, &str)] = &[
     ("stage_searches", "stage-count sub-searches started"),
     ("sim_runs", "simulator executions"),
     ("sim_tasks", "pipeline tasks executed by the simulator"),
+    (
+        "profile_cache_hits",
+        "serve requests resolved from the cross-request ProfileDb cache",
+    ),
+    (
+        "profile_cache_misses",
+        "serve requests that built a ProfileDb before searching",
+    ),
+    (
+        "serve_requests",
+        "well-formed search requests accepted by the serve daemon",
+    ),
+    (
+        "serve_rejected",
+        "requests rejected by the serve daemon (backpressure, budget, validation)",
+    ),
 ];
 
 /// Every histogram name with its unit and description, in snapshot

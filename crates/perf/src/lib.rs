@@ -17,8 +17,10 @@ pub mod cached;
 pub mod estimate;
 pub mod grid;
 pub mod model;
+pub mod p2p;
 
 pub use cached::{CachedEvaluator, Evaluator};
 pub use estimate::{ConfigEstimate, StageEstimate};
 pub use grid::LatencyGrid;
 pub use model::PerfModel;
+pub use p2p::P2pMemo;

@@ -30,6 +30,9 @@ pub struct PerfModel<'a> {
     /// Optional observability recorder; evaluation counters and latency
     /// samples flow here when attached.
     obs: Option<&'a Recorder>,
+    /// Optional shared boundary-p2p memo (one per search, shared across
+    /// the stage-count sub-search threads).
+    p2p: Option<&'a crate::p2p::P2pMemo>,
 }
 
 /// Effective layout of a tensor: sharding only exists when `tp > 1`.
@@ -61,6 +64,7 @@ impl<'a> PerfModel<'a> {
             sigs,
             grid,
             obs: None,
+            p2p: None,
         }
     }
 
@@ -70,6 +74,15 @@ impl<'a> PerfModel<'a> {
     /// into [`HistKind::EvalLatencyUs`].
     pub fn with_obs(mut self, rec: &'a Recorder) -> Self {
         self.obs = Some(rec);
+        self
+    }
+
+    /// Attaches a shared [`crate::P2pMemo`]: boundary p2p estimates are
+    /// then looked up there first and stored on first computation. The
+    /// memo stores exact `ProfileDb::p2p_time` values, so attaching it
+    /// never changes an estimate (bit-equality is test-enforced).
+    pub fn with_p2p_memo(mut self, memo: &'a crate::p2p::P2pMemo) -> Self {
+        self.p2p = Some(memo);
         self
     }
 
@@ -398,7 +411,12 @@ impl<'a> PerfModel<'a> {
         let bytes = op.output_elems
             * (config.microbatch as u64 / u64::from(last.dp))
             * self.model.precision.bytes();
-        self.db.p2p_time(bytes, from, to)
+        match self.p2p {
+            Some(memo) => {
+                memo.get_or_insert_with(bytes, from, to, || self.db.p2p_time(bytes, from, to))
+            }
+            None => self.db.p2p_time(bytes, from, to),
+        }
     }
 }
 

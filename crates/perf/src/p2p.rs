@@ -1,0 +1,105 @@
+//! Cross-thread memo for boundary point-to-point estimates.
+//!
+//! Every stage boundary charges [`aceso_profile::ProfileDb::p2p_time`]
+//! for one `(bytes, from, to)` triple, and the same triples recur across
+//! the per-stage-count search threads (a 4-stage and an 8-stage
+//! sub-search cut the model at many of the same device boundaries). The
+//! value is a pure function of the triple for a fixed cluster, so one
+//! [`P2pMemo`] can be shared by reference across all sub-search threads:
+//! whichever thread computes a triple first stores the exact `ProfileDb`
+//! value and every later lookup returns it bit-for-bit.
+//!
+//! Bit-equality with the unmemoized path is enforced by
+//! `tests/perf_equivalence.rs`.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Shared memo of boundary p2p times, keyed by `(bytes, from, to)`.
+///
+/// Thread-safe (`RwLock`-guarded) and deterministic: stored values come
+/// straight from `ProfileDb::p2p_time`, which is itself a pure function
+/// of the key, so the memo cannot change any estimate — only skip
+/// recomputation.
+#[derive(Debug, Default)]
+pub struct P2pMemo {
+    entries: RwLock<HashMap<(u64, usize, usize), f64>>,
+}
+
+impl P2pMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized time for `(bytes, from, to)`, computing and
+    /// storing it via `compute` on first use.
+    pub fn get_or_insert_with(
+        &self,
+        bytes: u64,
+        from: usize,
+        to: usize,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        let key = (bytes, from, to);
+        if let Some(&t) = self.entries.read().expect("p2p memo lock").get(&key) {
+            return t;
+        }
+        let t = compute();
+        // A racing thread may have inserted the same key meanwhile; both
+        // computed the identical pure-function value, so either insert
+        // wins harmlessly.
+        self.entries.write().expect("p2p memo lock").insert(key, t);
+        t
+    }
+
+    /// Number of memoized triples.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("p2p memo lock").len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().expect("p2p memo lock").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_compute_wins_and_is_reused() {
+        let memo = P2pMemo::new();
+        let a = memo.get_or_insert_with(1024, 0, 1, || 0.5);
+        // The second closure must not run: the stored value is returned.
+        let b = memo.get_or_insert_with(1024, 0, 1, || panic!("memo missed"));
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let memo = P2pMemo::new();
+        memo.get_or_insert_with(1024, 0, 1, || 0.5);
+        memo.get_or_insert_with(1024, 1, 2, || 0.75);
+        memo.get_or_insert_with(2048, 0, 1, || 0.25);
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo.get_or_insert_with(1024, 1, 2, || 0.0), 0.75);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let memo = P2pMemo::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for b in 0..64u64 {
+                        memo.get_or_insert_with(b, 0, 1, || b as f64 * 0.1);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 64);
+    }
+}

@@ -344,6 +344,15 @@ impl ProfileDb {
         self.entries.read().expect("profile lock").len()
     }
 
+    /// Approximate resident size of the database in bytes, used by the
+    /// serve-mode `ProfileCache` for its LRU byte budget. Counts each
+    /// entry at key + value + hash-table overhead; the constant only has
+    /// to be stable and monotone in entry count, not exact.
+    pub fn approx_bytes(&self) -> u64 {
+        const BYTES_PER_ENTRY: u64 = 48;
+        self.len() as u64 * BYTES_PER_ENTRY
+    }
+
     /// Whether the database holds no entries.
     pub fn is_empty(&self) -> bool {
         self.entries.read().expect("profile lock").is_empty()

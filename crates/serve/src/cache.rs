@@ -1,0 +1,362 @@
+//! The cross-request profile cache.
+//!
+//! Building a [`ProfileDb`] is the daemon's dominant cold-start cost —
+//! exactly the artifact the paper's §3.3 reuse property says should be
+//! shared ("the profiled database can be reused by the search for models
+//! that contain the same operators"). [`ProfileCache`] keys built
+//! databases by *(model fingerprint, cluster fingerprint)* and shares
+//! them across concurrent requests:
+//!
+//! * an exact-key hit returns the existing `Arc<ProfileDb>` without any
+//!   profiling work;
+//! * concurrent requests for the same key share one build — later
+//!   arrivals block on a condvar until the first finishes, then count as
+//!   hits;
+//! * a miss that shares a cluster with resident entries folds their
+//!   entries in via [`ProfileDb::merge`] (partial-overlap reuse: shared
+//!   operator shapes are not re-measured conceptually, and lookups stay
+//!   bit-identical because every entry is a pure function of its key);
+//! * total resident size is bounded by an LRU byte budget over
+//!   [`ProfileDb::approx_bytes`].
+//!
+//! Sharing can never change a search result: `ProfileDb` lookups return
+//! identical values on hit and miss, so a cached, merged, or freshly
+//! built database scores every configuration bit-identically.
+
+use aceso_cluster::ClusterSpec;
+use aceso_model::ModelGraph;
+use aceso_profile::ProfileDb;
+use aceso_util::json::ToJson;
+use aceso_util::FnvHasher;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Stable fingerprint of a model's profile-relevant content: the
+/// multiset of operator signatures (order-sensitively hashed — op order
+/// is part of the model), precision, and global batch.
+pub fn model_fingerprint(model: &ModelGraph) -> u64 {
+    let mut h = FnvHasher::new();
+    for op in &model.ops {
+        h.write_u64(ProfileDb::op_signature(op));
+    }
+    h.write_bytes(
+        model
+            .precision
+            .to_json_value()
+            .to_string_compact()
+            .as_bytes(),
+    );
+    h.write_usize(model.global_batch);
+    h.finish()
+}
+
+/// Stable fingerprint of a cluster topology (its canonical JSON form).
+pub fn cluster_fingerprint(cluster: &ClusterSpec) -> u64 {
+    let mut h = FnvHasher::new();
+    h.write_bytes(cluster.to_json_value().to_string_compact().as_bytes());
+    h.finish()
+}
+
+/// One resident cache entry.
+struct Entry {
+    db: Arc<ProfileDb>,
+    cluster_fp: u64,
+    bytes: u64,
+    /// Monotone LRU clock value of the last lookup.
+    last_use: u64,
+}
+
+/// Slot state: either being built by some request, or resident.
+enum Slot {
+    Building,
+    Ready(Entry),
+}
+
+#[derive(Default)]
+struct State {
+    slots: HashMap<(u64, u64), Slot>,
+    tick: u64,
+}
+
+/// Shared, byte-budgeted LRU cache of built [`ProfileDb`]s.
+pub struct ProfileCache {
+    budget_bytes: u64,
+    state: Mutex<State>,
+    built: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// Creates a cache evicting least-recently-used entries once resident
+    /// databases exceed `budget_bytes` (the entry being inserted is never
+    /// evicted, so a single oversized database still serves its request).
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            budget_bytes,
+            state: Mutex::new(State::default()),
+            built: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the database for `(model, cluster)`, building it on first
+    /// use. The boolean is `true` on a cache hit (including waiting out a
+    /// concurrent build of the same key) and `false` when this call did
+    /// the build.
+    pub fn get_or_build(
+        &self,
+        model: &ModelGraph,
+        cluster: &ClusterSpec,
+    ) -> (Arc<ProfileDb>, bool) {
+        let key = (model_fingerprint(model), cluster_fingerprint(cluster));
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            loop {
+                match state.slots.get_mut(&key) {
+                    Some(Slot::Ready(_)) => {
+                        state.tick += 1;
+                        let tick = state.tick;
+                        let Some(Slot::Ready(entry)) = state.slots.get_mut(&key) else {
+                            unreachable!("slot vanished under the lock")
+                        };
+                        entry.last_use = tick;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (Arc::clone(&entry.db), true);
+                    }
+                    Some(Slot::Building) => {
+                        state = self.built.wait(state).expect("cache lock");
+                    }
+                    None => {
+                        state.slots.insert(key, Slot::Building);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Build outside the lock: profiling is the expensive part and
+        // other keys must stay servable meanwhile.
+        let mut db = ProfileDb::build(model, cluster);
+
+        let mut state = self.state.lock().expect("cache lock");
+        // Partial-overlap reuse: fold in every resident database built on
+        // the same cluster. Entries are pure functions of their keys, so
+        // the merge is conflict-free and cannot change any lookup.
+        for slot in state.slots.values() {
+            if let Slot::Ready(entry) = slot {
+                if entry.cluster_fp == key.1 {
+                    db.merge(&entry.db);
+                }
+            }
+        }
+        let db = Arc::new(db);
+        let bytes = db.approx_bytes();
+        state.tick += 1;
+        let tick = state.tick;
+        state.slots.insert(
+            key,
+            Slot::Ready(Entry {
+                db: Arc::clone(&db),
+                cluster_fp: key.1,
+                bytes,
+                last_use: tick,
+            }),
+        );
+        Self::evict_over_budget(&mut state, self.budget_bytes, key);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.built.notify_all();
+        (db, false)
+    }
+
+    /// Evicts least-recently-used `Ready` entries until resident bytes
+    /// fit the budget, never evicting `keep` (the entry just inserted).
+    fn evict_over_budget(state: &mut State, budget: u64, keep: (u64, u64)) {
+        loop {
+            let resident: u64 = state
+                .slots
+                .values()
+                .filter_map(|s| match s {
+                    Slot::Ready(e) => Some(e.bytes),
+                    Slot::Building => None,
+                })
+                .sum();
+            if resident <= budget {
+                return;
+            }
+            let victim = state
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(e) if *k != keep => Some((e.last_use, *k)),
+                    _ => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    state.slots.remove(&k);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Lifetime cache hits (exact-key or shared-build).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime cache misses (builds performed).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident databases.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("cache lock")
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Whether no database is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total approximate bytes of resident databases.
+    pub fn resident_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("cache lock")
+            .slots
+            .values()
+            .filter_map(|s| match s {
+                Slot::Ready(e) => Some(e.bytes),
+                Slot::Building => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aceso_model::zoo::gpt3_custom;
+
+    fn small(name: &str, layers: usize) -> ModelGraph {
+        gpt3_custom(name, layers, 256, 4, 128, 1000, 16)
+    }
+
+    #[test]
+    fn repeat_lookup_is_a_hit() {
+        let cache = ProfileCache::new(u64::MAX);
+        let m = small("a", 2);
+        let c = ClusterSpec::v100(1, 2);
+        let (db1, hit1) = cache.get_or_build(&m, &c);
+        let (db2, hit2) = cache.get_or_build(&m, &c);
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&db1, &db2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_models_are_distinct_keys() {
+        let cache = ProfileCache::new(u64::MAX);
+        let c = ClusterSpec::v100(1, 2);
+        cache.get_or_build(&small("a", 2), &c);
+        cache.get_or_build(&small("b", 4), &c);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_clusters_are_distinct_keys() {
+        let cache = ProfileCache::new(u64::MAX);
+        let m = small("a", 2);
+        cache.get_or_build(&m, &ClusterSpec::v100(1, 2));
+        cache.get_or_build(&m, &ClusterSpec::v100(1, 4));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn same_cluster_miss_merges_resident_entries() {
+        let cache = ProfileCache::new(u64::MAX);
+        let c = ClusterSpec::v100(1, 2);
+        let (db_a, _) = cache.get_or_build(&small("a", 2), &c);
+        // A deeper variant with identical layer shapes: its own build
+        // would have the same unique entries, and after the merge it must
+        // contain at least everything `a` has.
+        let (db_b, _) = cache.get_or_build(&small("b", 4), &c);
+        assert!(db_b.len() >= db_a.len());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let m1 = small("a", 2);
+        let m2 = small("b", 4);
+        let c = ClusterSpec::v100(1, 2);
+        // Budget fits exactly one database: inserting the second must
+        // evict the first (the LRU).
+        let one_db_bytes = ProfileDb::build(&m1, &c).approx_bytes();
+        let cache = ProfileCache::new(one_db_bytes + one_db_bytes / 2);
+        cache.get_or_build(&m1, &c);
+        cache.get_or_build(&m2, &c);
+        assert_eq!(cache.len(), 1, "LRU entry must have been evicted");
+        // The evicted model now misses again.
+        let (_, hit) = cache.get_or_build(&m1, &c);
+        assert!(!hit);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn recently_used_entry_survives_eviction() {
+        let m1 = small("a", 2);
+        let m2 = small("b", 4);
+        let c = ClusterSpec::v100(1, 2);
+        let one = ProfileDb::build(&m1, &c).approx_bytes();
+        // Room for two entries (the merged second entry is the same size
+        // as the first: identical unique shapes), not three.
+        let cache = ProfileCache::new(2 * one + one / 2);
+        cache.get_or_build(&m1, &c);
+        cache.get_or_build(&m2, &c);
+        assert_eq!(cache.len(), 2);
+        // Touch m1 so m2 becomes the LRU, then overflow with a third.
+        cache.get_or_build(&m1, &c);
+        cache.get_or_build(&small("c", 6), &c);
+        let (_, hit_m1) = cache.get_or_build(&m1, &c);
+        assert!(hit_m1, "recently-used entry must survive");
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_share_one_build() {
+        let cache = ProfileCache::new(u64::MAX);
+        let m = small("a", 2);
+        let c = ClusterSpec::v100(1, 2);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| cache.get_or_build(&m, &c));
+            }
+        });
+        assert_eq!(cache.misses(), 1, "only one thread builds");
+        assert_eq!(cache.hits(), 3, "the others share the build");
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let m = small("a", 2);
+        assert_eq!(model_fingerprint(&m), model_fingerprint(&m));
+        assert_ne!(model_fingerprint(&m), model_fingerprint(&small("b", 4)));
+        let c2 = ClusterSpec::v100(1, 2);
+        let c4 = ClusterSpec::v100(1, 4);
+        assert_eq!(cluster_fingerprint(&c2), cluster_fingerprint(&c2));
+        assert_ne!(cluster_fingerprint(&c2), cluster_fingerprint(&c4));
+    }
+}

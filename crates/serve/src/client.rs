@@ -1,0 +1,215 @@
+//! A blocking TCP client for the serve protocol.
+//!
+//! [`submit`] sends one [`Request`] and collects the streamed response
+//! into a [`Response`]; [`shutdown`] and [`server_stats`] speak the
+//! admin frames. The client reconstructs the exact artifact bytes a
+//! direct `AcesoSearch::run_observed` run would have written —
+//! [`Response::events_jsonl`] and [`Response::metrics_json`] are
+//! byte-identical to `ObsReport::events_jsonl`/`metrics_json` because
+//! the in-tree JSON printer roundtrips numbers exactly and objects
+//! preserve field order.
+
+use crate::proto::Request;
+use crate::wire::{read_frame, write_frame, WireError};
+use aceso_util::json::{obj, ToJson, Value};
+use std::net::TcpStream;
+
+/// Why a submission failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server replied with a typed error frame.
+    Server {
+        /// Machine-readable error code (see `docs/SERVER.md`).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server sent a frame the protocol does not allow here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server rejected the request ({code}): {message}")
+            }
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// Everything one served search returned.
+#[derive(Debug)]
+pub struct Response {
+    /// `"hit"` or `"miss"` — the profile-cache outcome.
+    pub cache: String,
+    /// Status phases observed, in order (e.g. `profiling`, `searching`).
+    pub statuses: Vec<String>,
+    /// The streamed event payloads, in sequence order (without the
+    /// transport `seq` wrapper).
+    pub events: Vec<Value>,
+    /// The final result frame (type, timings, best config, …).
+    pub result: Value,
+    /// The per-request metric snapshot (parsed `metrics_json`).
+    pub metrics: Value,
+    /// The execution plan, when the request asked for one and the best
+    /// configuration fits memory.
+    pub plan: Option<Value>,
+}
+
+impl Response {
+    /// Re-renders the streamed events as JSONL, byte-identical to
+    /// `ObsReport::events_jsonl` of the equivalent direct run: each line
+    /// is the event object with `seq` inserted first, compact-printed.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, event) in self.events.iter().enumerate() {
+            let Value::Object(fields) = event else {
+                continue;
+            };
+            let mut fields = fields.clone();
+            fields.insert(0, ("seq".to_string(), Value::UInt(i as u64)));
+            out.push_str(&Value::Object(fields).to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Re-renders the metric snapshot, byte-identical to
+    /// `ObsReport::metrics_json` of the equivalent direct run.
+    pub fn metrics_json(&self) -> String {
+        let mut s = self.metrics.to_string_pretty();
+        s.push('\n');
+        s
+    }
+}
+
+/// Submits one search request and blocks until the result frame.
+pub fn submit(addr: &str, req: &Request) -> Result<Response, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &req.to_json_value())?;
+    let mut statuses = Vec::new();
+    let mut events = Vec::new();
+    loop {
+        let frame = read_frame(&mut stream)?;
+        match frame.get("type").and_then(|t| t.as_str().ok()) {
+            Some("status") => {
+                let phase = frame
+                    .get("phase")
+                    .and_then(|p| p.as_str().ok())
+                    .unwrap_or("?");
+                statuses.push(phase.to_string());
+            }
+            Some("event") => {
+                let seq = frame
+                    .get("seq")
+                    .and_then(|s| s.as_u64().ok())
+                    .ok_or_else(|| ClientError::Protocol("event frame without seq".into()))?;
+                if seq as usize != events.len() {
+                    return Err(ClientError::Protocol(format!(
+                        "event seq {seq} arrived out of order (expected {})",
+                        events.len()
+                    )));
+                }
+                let event = frame
+                    .get("event")
+                    .cloned()
+                    .ok_or_else(|| ClientError::Protocol("event frame without payload".into()))?;
+                events.push(event);
+            }
+            Some("result") => {
+                let cache = frame
+                    .get("cache")
+                    .and_then(|c| c.as_str().ok())
+                    .unwrap_or("?")
+                    .to_string();
+                let metrics = frame
+                    .get("metrics")
+                    .cloned()
+                    .ok_or_else(|| ClientError::Protocol("result frame without metrics".into()))?;
+                let plan = match frame.get("plan") {
+                    None | Some(Value::Null) => None,
+                    Some(p) => Some(p.clone()),
+                };
+                return Ok(Response {
+                    cache,
+                    statuses,
+                    events,
+                    result: frame,
+                    metrics,
+                    plan,
+                });
+            }
+            Some("error") => return Err(server_error(&frame)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected frame type {other:?} while awaiting a result"
+                )))
+            }
+        }
+    }
+}
+
+/// Asks the daemon to drain and exit. Returns once the server
+/// acknowledges; in-flight requests still finish before it exits.
+pub fn shutdown(addr: &str) -> Result<(), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &obj([("type", Value::Str("shutdown".into()))]))?;
+    let reply = read_frame(&mut stream)?;
+    match reply.get("type").and_then(|t| t.as_str().ok()) {
+        Some("ok") => Ok(()),
+        Some("error") => Err(server_error(&reply)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected shutdown reply {other:?}"
+        ))),
+    }
+}
+
+/// Fetches the server-level metric snapshot (the serve counter quartet).
+pub fn server_stats(addr: &str) -> Result<Value, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &obj([("type", Value::Str("stats".into()))]))?;
+    let reply = read_frame(&mut stream)?;
+    match reply.get("type").and_then(|t| t.as_str().ok()) {
+        Some("stats") => reply
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("stats frame without metrics".into())),
+        Some("error") => Err(server_error(&reply)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected stats reply {other:?}"
+        ))),
+    }
+}
+
+fn server_error(frame: &Value) -> ClientError {
+    let code = frame
+        .get("code")
+        .and_then(|c| c.as_str().ok())
+        .unwrap_or("?")
+        .to_string();
+    let message = frame
+        .get("message")
+        .and_then(|m| m.as_str().ok())
+        .unwrap_or_default()
+        .to_string();
+    ClientError::Server { code, message }
+}

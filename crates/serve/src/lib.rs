@@ -1,0 +1,40 @@
+//! Serve mode: a long-lived Aceso search daemon.
+//!
+//! Profiling a model is the expensive, amortisable part of an Aceso run
+//! (the paper's §3.3 notes the profiled database "can be reused by the
+//! search for models that contain the same operators"). A one-shot CLI
+//! pays that cost on every invocation; this crate turns the search into
+//! a std-only TCP service so the cost is paid once and shared:
+//!
+//! * [`wire`] — 4-byte big-endian length-prefixed JSON framing over
+//!   `std::net`, reusing the in-tree JSON [`Value`] machinery;
+//! * [`proto`] — the typed frame vocabulary ([`Request`], error/status/
+//!   event frame builders);
+//! * [`cache`] — [`ProfileCache`], the cross-request LRU profile-db
+//!   cache keyed by (model fingerprint, cluster fingerprint);
+//! * [`server`] — [`Server`], the bounded-worker accept loop with
+//!   graceful drain;
+//! * [`client`] — blocking [`submit`]/[`shutdown`]/[`server_stats`]
+//!   helpers and the collected [`Response`].
+//!
+//! The wire contract is specified in `docs/SERVER.md`. Served results
+//! are deterministic: for iteration-budget requests, the event stream
+//! and metric snapshot a client collects are byte-identical to a direct
+//! in-process `AcesoSearch::run_observed` run (asserted by
+//! `tests/serve.rs`).
+//!
+//! [`Value`]: aceso_util::json::Value
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use cache::{cluster_fingerprint, model_fingerprint, ProfileCache};
+pub use client::{server_stats, shutdown, submit, ClientError, Response};
+pub use proto::{error_frame, event_frame, status_frame, Request};
+pub use server::{ServeOptions, Server};
+pub use wire::{read_frame, write_frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};

@@ -1,0 +1,328 @@
+//! The TCP search daemon.
+//!
+//! One [`Server`] owns a listener, a [`ProfileCache`], and a bounded
+//! worker pool. Connections are handled on spawned threads; each
+//! well-formed request runs an `AcesoSearch` and streams back status
+//! frames, the structured event feed, and a final result frame (see
+//! `docs/SERVER.md` for the wire contract).
+//!
+//! Determinism note: per-request responses carry the *same* metric
+//! snapshot a direct `AcesoSearch::run_observed` produces — the server's
+//! own counters (`serve_requests`, `serve_rejected`,
+//! `profile_cache_hits`, `profile_cache_misses`) are recorded at server
+//! level only, exposed via `stats` frames and the final drain report,
+//! never mixed into a request's snapshot.
+
+use crate::cache::ProfileCache;
+use crate::proto::{error_frame, event_frame, status_frame, Request};
+use crate::wire::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
+use aceso_cluster::ClusterSpec;
+use aceso_core::AcesoSearch;
+use aceso_model::zoo;
+use aceso_obs::{Counter, ObsReport, Recorder};
+use aceso_runtime::ExecutionPlan;
+use aceso_util::json::{obj, FromJson, Value};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Daemon configuration knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum concurrently running search requests; further requests
+    /// are rejected with `rejected-busy` (no queueing). `0` rejects
+    /// every search — useful for drills and tests.
+    pub workers: usize,
+    /// LRU byte budget of the profile cache.
+    pub cache_bytes: u64,
+    /// Reject requests whose `budget_secs` exceeds this bound.
+    pub max_budget_secs: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            cache_bytes: 256 << 20,
+            max_budget_secs: Some(600),
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    opts: ServeOptions,
+    cache: ProfileCache,
+    addr: SocketAddr,
+    draining: AtomicBool,
+    in_flight: Mutex<usize>,
+    idle: Condvar,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Shared {
+    /// Snapshot of the server-level counters as an [`ObsReport`] (the
+    /// serve quartet of `docs/OBSERVABILITY.md`, schema v3).
+    fn report(&self) -> ObsReport {
+        let rec = Recorder::new(true);
+        rec.add(Counter::ProfileCacheHits, self.cache.hits());
+        rec.add(Counter::ProfileCacheMisses, self.cache.misses());
+        rec.add(
+            Counter::ServeRequests,
+            self.requests.load(Ordering::Relaxed),
+        );
+        rec.add(
+            Counter::ServeRejected,
+            self.rejected.load(Ordering::Relaxed),
+        );
+        let mut report = ObsReport::new();
+        report.absorb(rec);
+        report
+    }
+
+    fn reject(&self, stream: &mut TcpStream, code: &str, message: &str) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = write_frame(stream, &error_frame(code, message));
+    }
+}
+
+/// Releases one worker slot on drop, whatever path the request took.
+struct SlotGuard<'a>(&'a Shared);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        let mut n = self.0.in_flight.lock().expect("slot lock");
+        *n -= 1;
+        self.0.idle.notify_all();
+    }
+}
+
+/// The bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str, opts: ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: ProfileCache::new(opts.cache_bytes),
+            opts,
+            addr,
+            draining: AtomicBool::new(false),
+            in_flight: Mutex::new(0),
+            idle: Condvar::new(),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (read this after binding to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop until a `shutdown` frame arrives, then
+    /// drains in-flight requests and returns the server-level
+    /// observability report (the serve counter quartet).
+    pub fn run(self) -> ObsReport {
+        for conn in self.listener.incoming() {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(&shared, stream));
+        }
+        // Graceful drain: wait for every in-flight search to finish.
+        let mut n = self.shared.in_flight.lock().expect("slot lock");
+        while *n > 0 {
+            n = self.shared.idle.wait(n).expect("slot lock");
+        }
+        drop(n);
+        self.shared.report()
+    }
+}
+
+/// Serves one connection: a sequence of frames until the peer closes.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(v) => v,
+            Err(WireError::Closed) => return,
+            Err(WireError::Oversize(n)) => {
+                // The unread payload leaves the stream unframed; reject
+                // and drop the connection.
+                shared.reject(
+                    &mut stream,
+                    "oversize-frame",
+                    &WireError::Oversize(n).to_string(),
+                );
+                return;
+            }
+            Err(WireError::BadJson(e)) => {
+                // Framing stayed aligned (the payload was consumed), so
+                // the connection can continue after the typed error.
+                shared.reject(&mut stream, "bad-frame", &e);
+                continue;
+            }
+            Err(WireError::Io(_)) => return,
+        };
+        match frame.get("type").and_then(|t| t.as_str().ok()) {
+            Some("request") => handle_request(shared, &mut stream, &frame),
+            Some("stats") => {
+                let report = shared.report();
+                let metrics = Value::parse(&report.metrics_json()).expect("own snapshot parses");
+                let _ = write_frame(
+                    &mut stream,
+                    &obj([("type", Value::Str("stats".into())), ("metrics", metrics)]),
+                );
+            }
+            Some("shutdown") => {
+                shared.draining.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut stream, &obj([("type", Value::Str("ok".into()))]));
+                // Wake the blocking accept loop so it observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+            }
+            other => {
+                shared.reject(
+                    &mut stream,
+                    "unknown-frame-type",
+                    &format!("unknown frame type {other:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Validates, admits, runs, and streams one search request.
+fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
+    match frame.get("protocol_version").and_then(|v| v.as_u64().ok()) {
+        Some(PROTOCOL_VERSION) => {}
+        got => {
+            shared.reject(
+                stream,
+                "bad-protocol-version",
+                &format!("server speaks protocol {PROTOCOL_VERSION}, request carried {got:?}"),
+            );
+            return;
+        }
+    }
+    let req = match Request::from_json_value(frame) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.reject(stream, "bad-request", &e.to_string());
+            return;
+        }
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.reject(stream, "shutting-down", "server is draining");
+        return;
+    }
+    let Some(model) = zoo::by_name(&req.model) else {
+        shared.reject(
+            stream,
+            "unknown-model",
+            &format!("unknown model `{}`", req.model),
+        );
+        return;
+    };
+    if req.gpus == 0 {
+        shared.reject(stream, "bad-request", "gpus must be at least 1");
+        return;
+    }
+    if let (Some(max), Some(b)) = (shared.opts.max_budget_secs, req.budget_secs) {
+        if b > max {
+            shared.reject(
+                stream,
+                "budget-too-large",
+                &format!("budget_secs {b} exceeds the server limit of {max}"),
+            );
+            return;
+        }
+    }
+    // Backpressure: try-acquire a worker slot, never queue.
+    let _slot = {
+        let mut n = shared.in_flight.lock().expect("slot lock");
+        if *n >= shared.opts.workers {
+            drop(n);
+            shared.reject(
+                stream,
+                "rejected-busy",
+                &format!("{} requests already in flight", shared.opts.workers),
+            );
+            return;
+        }
+        *n += 1;
+        SlotGuard(shared)
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+
+    let _ = write_frame(stream, &status_frame("profiling", None));
+    let cluster = ClusterSpec::v100_gpus(req.gpus);
+    let profile_start = std::time::Instant::now();
+    let (db, hit) = shared.cache.get_or_build(&model, &cluster);
+    let profile_micros = profile_start.elapsed().as_micros() as u64;
+    let cache_tag = if hit { "hit" } else { "miss" };
+    let _ = write_frame(stream, &status_frame("searching", Some(cache_tag)));
+
+    let (result, report) =
+        match AcesoSearch::new(&model, &cluster, &db, req.search_options()).run_observed(true) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = write_frame(stream, &error_frame("search-failed", &e.to_string()));
+                return;
+            }
+        };
+
+    // The event feed streams after the per-thread recorders merged —
+    // that ordering is what makes it deterministic (docs/SERVER.md).
+    for (seq, event) in report.events().iter().enumerate() {
+        if write_frame(stream, &event_frame(seq, event.to_json_value())).is_err() {
+            return;
+        }
+    }
+
+    let plan = if req.plan && !result.best_oom {
+        ExecutionPlan::build(&model, &cluster, &result.best_config)
+            .ok()
+            .map(|p| Value::parse(&p.to_json()).expect("own plan parses"))
+    } else {
+        None
+    };
+    let metrics = Value::parse(&report.metrics_json()).expect("own snapshot parses");
+    let final_frame = obj([
+        ("type", Value::Str("result".into())),
+        ("protocol_version", Value::UInt(PROTOCOL_VERSION)),
+        ("cache", Value::Str(cache_tag.into())),
+        // Wall-clock cost of the profiling phase — the one nondeterministic
+        // result field; a cache hit collapses it from a full build to a
+        // map probe (the integration tests assert exactly that).
+        ("profile_micros", Value::UInt(profile_micros)),
+        ("model", Value::Str(req.model.clone())),
+        ("best_time", Value::Float(result.best_time)),
+        ("best_time_bits", Value::UInt(result.best_time.to_bits())),
+        (
+            "best_fingerprint",
+            Value::UInt(result.best_config.semantic_hash()),
+        ),
+        ("best_oom", Value::Bool(result.best_oom)),
+        ("explored", Value::UInt(result.explored as u64)),
+        (
+            "stages",
+            Value::UInt(result.best_config.num_stages() as u64),
+        ),
+        (
+            "best_config",
+            aceso_util::json::ToJson::to_json_value(&result.best_config),
+        ),
+        ("metrics", metrics),
+        ("plan", plan.unwrap_or(Value::Null)),
+    ]);
+    let _ = write_frame(stream, &final_frame);
+}

@@ -1,0 +1,167 @@
+//! Length-prefixed JSON framing over a byte stream.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON (one [`Value`] document). The format is
+//! symmetric — requests and responses use the same framing — and
+//! dependency-free: it reuses the in-tree JSON machinery and `std::io`.
+//!
+//! Frames larger than [`MAX_FRAME_BYTES`] are rejected *before* the
+//! payload is read, so a malicious or confused peer cannot make the
+//! server allocate unboundedly. The full frame-type vocabulary is
+//! documented in `docs/SERVER.md`.
+
+use aceso_util::json::Value;
+use std::io::{Read, Write};
+
+/// Version stamped into request and result frames as
+/// `protocol_version`. Bump when a frame field changes meaning.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard ceiling on one frame's payload size (16 MiB). Large enough for
+/// any event stream the bounded searches produce, small enough that an
+/// adversarial length prefix cannot exhaust memory.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The peer closed the stream mid-frame (or before one started).
+    Closed,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversize(usize),
+    /// The payload is not valid JSON.
+    BadJson(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Closed => write!(f, "peer closed the stream"),
+            WireError::Oversize(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                )
+            }
+            WireError::BadJson(e) => write!(f, "frame payload is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Closed
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the compact JSON
+/// payload.
+pub fn write_frame(w: &mut impl Write, v: &Value) -> Result<(), WireError> {
+    let payload = v.to_string_compact();
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(WireError::Oversize(bytes.len()));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns [`WireError::Closed`] on clean EOF before a
+/// length prefix, [`WireError::Oversize`] without consuming the payload
+/// when the prefix exceeds the limit.
+pub fn read_frame(r: &mut impl Read) -> Result<Value, WireError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes at all) from a truncated prefix.
+    let mut filled = 0usize;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            return Err(WireError::Closed);
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload).map_err(|e| WireError::BadJson(e.to_string()))?;
+    Value::parse(&text).map_err(|e| WireError::BadJson(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aceso_util::json::obj;
+
+    #[test]
+    fn roundtrip_preserves_value() {
+        let v = obj([
+            ("type", Value::Str("request".into())),
+            ("n", Value::UInt(42)),
+            ("x", Value::Float(1.25)),
+        ]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).expect("writes");
+        let back = read_frame(&mut buf.as_slice()).expect("reads");
+        assert_eq!(back.to_string_compact(), v.to_string_compact());
+    }
+
+    #[test]
+    fn multiple_frames_read_in_order() {
+        let mut buf = Vec::new();
+        for i in 0..3u64 {
+            write_frame(&mut buf, &Value::UInt(i)).expect("writes");
+        }
+        let mut r = buf.as_slice();
+        for i in 0..3u64 {
+            assert_eq!(read_frame(&mut r).unwrap().as_u64().unwrap(), i);
+        }
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn empty_stream_reads_as_closed() {
+        let mut r: &[u8] = &[];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn truncated_prefix_reads_as_closed() {
+        let mut r: &[u8] = &[0, 0];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn oversize_prefix_is_rejected_without_allocating() {
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes();
+        let mut r: &[u8] = &huge;
+        match read_frame(&mut r) {
+            Err(WireError::Oversize(n)) => assert_eq!(n, MAX_FRAME_BYTES + 1),
+            other => panic!("expected oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_bad_json() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{");
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadJson(_))
+        ));
+    }
+}

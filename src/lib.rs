@@ -16,6 +16,8 @@
 //! * [`runtime`] — discrete-event 1F1B execution simulator ("actual" runs).
 //! * [`audit`] — static invariant analysis over the primitive table,
 //!   transforms, perf model and search traces.
+//! * [`serve`] — long-lived TCP search daemon with a cross-request
+//!   profile cache (wire contract in `docs/SERVER.md`).
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use aceso_obs as obs;
 pub use aceso_perf as perf;
 pub use aceso_profile as profile;
 pub use aceso_runtime as runtime;
+pub use aceso_serve as serve;
 pub use aceso_util as util;
 
 // Compile and run the README's quickstart code block as a doctest so the

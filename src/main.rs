@@ -7,13 +7,16 @@
 //! Searches a parallel configuration for one of the paper's models on a
 //! simulated V100 cluster, prints the found configuration with predicted
 //! and simulated performance, and optionally writes the per-rank execution
-//! plan.
+//! plan. `aceso serve` runs the same search as a long-lived daemon with a
+//! cross-request profile cache; `aceso submit` talks to it; `aceso
+//! obs-diff` compares two metric snapshots.
 
-use aceso::model::zoo::{gpt3, t5, wide_resnet, Gpt3Size, T5Size, WideResnetSize};
-use aceso::model::ModelGraph;
+use aceso::model::zoo;
 use aceso::obs::Recorder;
 use aceso::prelude::*;
 use aceso::runtime::ExecutionPlan;
+use aceso::serve::{self, Request, ServeOptions, Server};
+use aceso::util::json::Value;
 use aceso_audit::AuditOptions;
 use std::time::Duration;
 
@@ -35,6 +38,13 @@ usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
              [--zero] [--plan-out FILE] [--metrics-out FILE]
              [--events-out FILE] [--no-metrics]
        aceso audit [--smoke] [--json FILE] [--epsilon E]
+       aceso serve [--addr HOST:PORT] [--workers N] [--cache-mb M]
+             [--max-budget-secs S]
+       aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
+             [--zero] [--iterations I] [--budget-secs S] [--seed K]
+             [--plan-out FILE] [--metrics-out FILE] [--events-out FILE]
+             | --stats | --shutdown)
+       aceso obs-diff A.json B.json
 
 models: gpt3-{0.35b,1.3b,2.6b,6.7b,13b}, t5-{0.77b,3b,6b,11b,22b},
         wresnet-{0.5b,2b,4b,6.8b,13b}, deepnet-<layers>l
@@ -48,14 +58,33 @@ flags:
                       docs/OBSERVABILITY.md for the schema)
   --events-out FILE   write the structured event stream as JSONL
   --no-metrics      disable observability entirely (skips the summary
-                    table; the two flags above then write empty files)
+                    table; conflicts with --metrics-out/--events-out)
 
 audit: run the static invariant analyzers (primitive signatures,
 transform validity, perf-model consistency, search-trace replay) over
 the model-zoo corpus; exits non-zero if any finding is reported
   --smoke           audit a single small model (fast CI check)
   --json FILE       also write the findings report as JSON
-  --epsilon E       float comparison tolerance (default 1e-9)";
+  --epsilon E       float comparison tolerance (default 1e-9)
+
+serve: run the search daemon (wire contract in docs/SERVER.md)
+  --addr HOST:PORT  listen address (default 127.0.0.1:7100; port 0 picks
+                    an ephemeral port, printed as `listening on ...`)
+  --workers N       max concurrent searches, excess rejected (default 4)
+  --cache-mb M      profile-cache byte budget in MiB (default 256)
+  --max-budget-secs S  reject requests with a larger wall-clock budget
+                    (default 600; 0 = unlimited)
+
+submit: send one search to a daemon and collect the streamed response
+  --iterations I    per-stage-count iteration budget (default 48); the
+                    deterministic budget — results are reproducible when
+                    no --budget-secs is given
+  --seed K          search RNG seed (default 0xACE50)
+  --stats           print the daemon's server-level metric snapshot
+  --shutdown        ask the daemon to drain in-flight work and exit
+
+obs-diff: print counter deltas and histogram shifts between two metric
+snapshots; exits 2 when the snapshots disagree on schema_version";
 
 /// Runs `aceso audit` and exits: 0 when clean, 1 on findings, 2 on bad
 /// usage.
@@ -108,6 +137,244 @@ fn run_audit(mut it: impl Iterator<Item = String>) -> ! {
     std::process::exit(if report.clean() { 0 } else { 1 });
 }
 
+/// Runs `aceso serve` and exits when the daemon drains.
+fn run_serve(mut it: impl Iterator<Item = String>) -> ! {
+    let mut addr = "127.0.0.1:7100".to_string();
+    let mut opts = ServeOptions::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let parsed = match flag.as_str() {
+            "--addr" => value("--addr").map(|v| addr = v),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--cache-mb" => value("--cache-mb").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|m| opts.cache_bytes = m << 20)
+                    .map_err(|e| format!("--cache-mb: {e}"))
+            }),
+            "--max-budget-secs" => value("--max-budget-secs").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|s| opts.max_budget_secs = (s > 0).then_some(s))
+                    .map_err(|e| format!("--max-budget-secs: {e}"))
+            }),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => Err(format!("unknown serve flag `{other}`")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    let server = Server::bind(&addr, opts).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The smoke harness greps this line for the resolved ephemeral port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = server.run();
+    println!("daemon drained; server-level counters:");
+    print!("{}", report.summary_table());
+    std::process::exit(0);
+}
+
+/// Runs `aceso submit` and exits: 0 on success, 1 on a server-side
+/// failure, 2 on bad usage.
+fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
+    let mut addr: Option<String> = None;
+    let mut req = Request::default();
+    let mut plan_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
+    let mut stats = false;
+    let mut do_shutdown = false;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let parsed = match flag.as_str() {
+            "--addr" => value("--addr").map(|v| addr = Some(v)),
+            "--model" => value("--model").map(|v| req.model = v),
+            "--gpus" => value("--gpus").and_then(|v| {
+                v.parse()
+                    .map(|n| req.gpus = n)
+                    .map_err(|e| format!("--gpus: {e}"))
+            }),
+            "--stages" => value("--stages").and_then(|v| {
+                v.parse()
+                    .map(|p| req.stages = Some(p))
+                    .map_err(|e| format!("--stages: {e}"))
+            }),
+            "--zero" => {
+                req.zero = true;
+                Ok(())
+            }
+            "--iterations" => value("--iterations").and_then(|v| {
+                v.parse()
+                    .map(|i| req.max_iterations = i)
+                    .map_err(|e| format!("--iterations: {e}"))
+            }),
+            "--budget-secs" => value("--budget-secs").and_then(|v| {
+                v.parse()
+                    .map(|s| req.budget_secs = Some(s))
+                    .map_err(|e| format!("--budget-secs: {e}"))
+            }),
+            "--seed" => value("--seed").and_then(|v| {
+                v.parse()
+                    .map(|s| req.seed = s)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--plan-out" => value("--plan-out").map(|v| {
+                req.plan = true;
+                plan_out = Some(v);
+            }),
+            "--metrics-out" => value("--metrics-out").map(|v| metrics_out = Some(v)),
+            "--events-out" => value("--events-out").map(|v| events_out = Some(v)),
+            "--stats" => {
+                stats = true;
+                Ok(())
+            }
+            "--shutdown" => {
+                do_shutdown = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => Err(format!("unknown submit flag `{other}`")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: submit requires --addr\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    if do_shutdown {
+        match serve::shutdown(&addr) {
+            Ok(()) => {
+                println!("daemon at {addr} is draining");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if stats {
+        match serve::server_stats(&addr) {
+            Ok(metrics) => {
+                println!("{}", metrics.to_string_pretty());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if req.model.is_empty() {
+        eprintln!("error: submit requires --model (or --stats/--shutdown)\n\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    eprintln!("submitting {} to {addr}...", req.model);
+    let resp = match serve::submit(&addr, &req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let field_f64 = |name: &str| resp.result.get(name).and_then(|v| v.as_f64().ok());
+    let field_u64 = |name: &str| resp.result.get(name).and_then(|v| v.as_u64().ok());
+    println!(
+        "served search: profile cache {}, explored {} configurations",
+        resp.cache,
+        field_u64("explored").unwrap_or(0),
+    );
+    println!(
+        "best predicted iteration {:.3} s over {} stages ({})",
+        field_f64("best_time").unwrap_or(f64::NAN),
+        field_u64("stages").unwrap_or(0),
+        if resp
+            .result
+            .get("best_oom")
+            .and_then(|v| v.as_bool().ok())
+            .unwrap_or(false)
+        {
+            "OOM"
+        } else {
+            "fits"
+        },
+    );
+    let write_out = |path: &Option<String>, contents: String, what: &str| {
+        if let Some(path) = path {
+            std::fs::write(path, contents).unwrap_or_else(|e| {
+                eprintln!("error writing {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {what} to {path}");
+        }
+    };
+    write_out(&metrics_out, resp.metrics_json(), "metrics snapshot");
+    write_out(&events_out, resp.events_jsonl(), "event stream");
+    if let Some(path) = &plan_out {
+        match &resp.plan {
+            Some(plan) => write_out(
+                &Some(path.clone()),
+                plan.to_string_pretty(),
+                "execution plan",
+            ),
+            None => eprintln!("note: no execution plan returned (best configuration is OOM)"),
+        }
+    }
+    std::process::exit(0);
+}
+
+/// Runs `aceso obs-diff A.json B.json` and exits: 0 on a rendered diff,
+/// 2 on schema mismatch or unreadable input.
+fn run_obs_diff(mut it: impl Iterator<Item = String>) -> ! {
+    let (Some(path_a), Some(path_b)) = (it.next(), it.next()) else {
+        eprintln!("error: obs-diff needs two snapshot files\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    if let Some(extra) = it.next() {
+        eprintln!("error: unexpected obs-diff argument `{extra}`\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let load = |path: &str| -> Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error reading {path}: {e}");
+            std::process::exit(2);
+        });
+        Value::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (load(&path_a), load(&path_b));
+    match aceso::obs::render_diff(&a, &b) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         model: String::new(),
@@ -153,37 +420,14 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     if args.model.is_empty() {
         return Err("missing --model".into());
     }
-    Ok(args)
-}
-
-fn build_model(name: &str) -> Option<ModelGraph> {
-    let gpt = |s| Some(gpt3(s));
-    let t = |s| Some(t5(s));
-    let w = |s| Some(wide_resnet(s));
-    match name {
-        "gpt3-0.35b" => gpt(Gpt3Size::S0_35b),
-        "gpt3-1.3b" => gpt(Gpt3Size::S1_3b),
-        "gpt3-2.6b" => gpt(Gpt3Size::S2_6b),
-        "gpt3-6.7b" => gpt(Gpt3Size::S6_7b),
-        "gpt3-13b" => gpt(Gpt3Size::S13b),
-        "t5-0.77b" => t(T5Size::S0_77b),
-        "t5-3b" => t(T5Size::S3b),
-        "t5-6b" => t(T5Size::S6b),
-        "t5-11b" => t(T5Size::S11b),
-        "t5-22b" => t(T5Size::S22b),
-        "wresnet-0.5b" => w(WideResnetSize::S0_5b),
-        "wresnet-2b" => w(WideResnetSize::S2b),
-        "wresnet-4b" => w(WideResnetSize::S4b),
-        "wresnet-6.8b" => w(WideResnetSize::S6_8b),
-        "wresnet-13b" => w(WideResnetSize::S13b),
-        other => {
-            let layers = other
-                .strip_prefix("deepnet-")
-                .and_then(|s| s.strip_suffix('l'))
-                .and_then(|s| s.parse::<usize>().ok())?;
-            Some(aceso::model::zoo::deepnet(layers))
-        }
+    if !args.metrics && (args.metrics_out.is_some() || args.events_out.is_some()) {
+        return Err(
+            "--no-metrics disables the recorder, so --metrics-out/--events-out would \
+             write empty files; drop one side of the conflict"
+                .into(),
+        );
     }
+    Ok(args)
 }
 
 fn main() {
@@ -192,6 +436,18 @@ fn main() {
         Some("audit") => {
             argv.next();
             run_audit(argv);
+        }
+        Some("serve") => {
+            argv.next();
+            run_serve(argv);
+        }
+        Some("submit") => {
+            argv.next();
+            run_submit(argv);
+        }
+        Some("obs-diff") => {
+            argv.next();
+            run_obs_diff(argv);
         }
         // `aceso search` is the explicit form of the default command.
         Some("search") => {
@@ -209,7 +465,7 @@ fn main() {
             std::process::exit(if msg.is_empty() { 0 } else { 2 });
         }
     };
-    let Some(model) = build_model(&args.model) else {
+    let Some(model) = zoo::by_name(&args.model) else {
         eprintln!("error: unknown model `{}`\n\n{USAGE}", args.model);
         std::process::exit(2);
     };

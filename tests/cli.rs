@@ -1,0 +1,107 @@
+//! Black-box tests of the `aceso` binary's argument handling: flag
+//! conflicts must fail fast with a usage error (exit 2) instead of
+//! silently writing empty artifacts, and `obs-diff` must refuse
+//! cross-schema comparisons.
+
+use std::process::Command;
+
+fn aceso() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aceso"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("aceso-cli-{}-{name}", std::process::id()));
+    p
+}
+
+/// `--no-metrics` disables the recorder, so combining it with
+/// `--metrics-out` used to write an empty file; now it is a usage error
+/// and nothing is written.
+#[test]
+fn no_metrics_with_metrics_out_is_a_usage_error() {
+    let out = temp_path("metrics.json");
+    let _ = std::fs::remove_file(&out);
+    let output = aceso()
+        .args(["--model", "deepnet-8l", "--no-metrics", "--metrics-out"])
+        .arg(&out)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2), "must exit with usage error");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--no-metrics"),
+        "stderr must explain the conflict: {stderr}"
+    );
+    assert!(!out.exists(), "no empty artifact may be written");
+}
+
+/// Same conflict with `--events-out`.
+#[test]
+fn no_metrics_with_events_out_is_a_usage_error() {
+    let out = temp_path("events.jsonl");
+    let _ = std::fs::remove_file(&out);
+    let output = aceso()
+        .args(["--model", "deepnet-8l", "--no-metrics", "--events-out"])
+        .arg(&out)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(!out.exists());
+}
+
+/// An unknown model still exits 2 through the shared zoo lookup.
+#[test]
+fn unknown_model_is_a_usage_error() {
+    let output = aceso()
+        .args(["--model", "no-such-model"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown model"));
+}
+
+fn write_snapshot(name: &str, version: u64, evals: u64) -> std::path::PathBuf {
+    let path = temp_path(name);
+    std::fs::write(
+        &path,
+        format!(
+            "{{\"schema_version\": {version}, \"counters\": {{\"perf_evaluations\": {evals}}}, \
+             \"primitives_applied\": {{}}, \"histograms\": {{}}}}\n"
+        ),
+    )
+    .expect("writes snapshot");
+    path
+}
+
+/// `obs-diff` renders deltas for same-schema snapshots (exit 0) and
+/// refuses cross-schema comparisons (exit 2).
+#[test]
+fn obs_diff_diffs_and_refuses_schema_mismatch() {
+    let a = write_snapshot("diff-a.json", 3, 10);
+    let b = write_snapshot("diff-b.json", 3, 14);
+    let output = aceso()
+        .arg("obs-diff")
+        .args([&a, &b])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(0), "same-schema diff succeeds");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("perf_evaluations") && stdout.contains("+4"),
+        "diff must show the counter delta: {stdout}"
+    );
+
+    let old = write_snapshot("diff-old.json", 2, 10);
+    let output = aceso()
+        .arg("obs-diff")
+        .args([&a, &old])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "schema mismatch must exit non-zero"
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("schema"));
+}

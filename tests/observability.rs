@@ -6,6 +6,7 @@
 use aceso::obs::{Counter, Recorder, SCHEMA_VERSION};
 use aceso::prelude::*;
 use aceso::search::SearchOptions;
+use aceso::serve::{Request, ServeOptions, Server};
 use aceso::util::json::Value;
 
 fn small_gpt() -> ModelGraph {
@@ -167,10 +168,44 @@ fn no_counter_is_silently_dead() {
         );
     }
 
+    // Scenario 4: a loopback serve session — the serve counter quartet
+    // (v3) lives in the daemon's server-level report, never in a
+    // request's own snapshot.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("binds an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 4,
+        ..Request::default()
+    };
+    let first = aceso::serve::submit(&addr, &req).expect("first submit");
+    assert_eq!(first.cache, "miss");
+    let second = aceso::serve::submit(&addr, &req).expect("second submit");
+    assert_eq!(second.cache, "hit");
+    let unknown = aceso::serve::submit(
+        &addr,
+        &Request {
+            model: "no-such-model".into(),
+            ..Request::default()
+        },
+    );
+    assert!(unknown.is_err(), "unknown model must be rejected");
+    aceso::serve::shutdown(&addr).expect("shutdown");
+    let server_report = handle.join().expect("server thread");
+
     obs.absorb(rec);
     for c in Counter::ALL {
         assert!(
-            obs.counter(c) > 0,
+            obs.counter(c) + server_report.counter(c) > 0,
             "counter `{}` stayed zero across the scenario suite — it is \
              silently dead; wire it to a production path or drop it from \
              the schema with a version bump",

@@ -1,0 +1,377 @@
+//! Loopback integration tests for the serve daemon (`aceso-serve`).
+//!
+//! The central claim under test: **serving a search changes nothing about
+//! its result**. For iteration-budget requests, a served response must be
+//! bit-identical to a direct in-process `AcesoSearch::run_observed` run —
+//! the event stream byte-for-byte, every deterministic counter, the best
+//! configuration's fingerprint, and the predicted time's bits — even with
+//! eight clients in flight at once sharing one profile cache.
+
+use aceso::obs::Counter;
+use aceso::prelude::*;
+use aceso::serve::{self, ClientError, Request, Response, ServeOptions, Server};
+use aceso::serve::{read_frame, write_frame, WireError, MAX_FRAME_BYTES};
+use aceso::util::json::{obj, Value};
+use std::io::Write as _;
+use std::net::TcpStream;
+
+/// Binds an ephemeral-port daemon and runs it on a background thread.
+fn start(opts: ServeOptions) -> (String, std::thread::JoinHandle<aceso::obs::ObsReport>) {
+    let server = Server::bind("127.0.0.1:0", opts).expect("binds an ephemeral port");
+    let addr = server.local_addr().to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// Runs the request's search directly through the library, exactly as the
+/// server does (same `Request::search_options` mapping).
+fn direct_run(req: &Request) -> (aceso::search::SearchResult, aceso::obs::ObsReport) {
+    let model = aceso::model::zoo::by_name(&req.model).expect("zoo model");
+    let cluster = ClusterSpec::v100_gpus(req.gpus);
+    let db = ProfileDb::build(&model, &cluster);
+    AcesoSearch::new(&model, &cluster, &db, req.search_options())
+        .run_observed(true)
+        .expect("direct search succeeds")
+}
+
+/// Drops the only nondeterministic parts of a metric snapshot: the
+/// wall-clock field and the latency histogram.
+fn masked(snapshot: &Value) -> Value {
+    let Value::Object(fields) = snapshot else {
+        return snapshot.clone();
+    };
+    let fields = fields
+        .iter()
+        .filter(|(k, _)| k != "wall_time_secs")
+        .map(|(k, v)| {
+            if k == "histograms" {
+                if let Value::Object(hists) = v {
+                    let kept = hists
+                        .iter()
+                        .filter(|(name, _)| name != "eval_latency_us")
+                        .cloned()
+                        .collect();
+                    return (k.clone(), Value::Object(kept));
+                }
+            }
+            (k.clone(), v.clone())
+        })
+        .collect();
+    Value::Object(fields)
+}
+
+/// Asserts a served response is bit-identical to the direct library run.
+fn assert_matches_direct(resp: &Response, req: &Request, ctx: &str) {
+    let (want, report) = direct_run(req);
+    assert_eq!(
+        resp.events_jsonl(),
+        report.events_jsonl(),
+        "{ctx}: event stream must be byte-identical"
+    );
+    assert_eq!(
+        masked(&resp.metrics).to_string_compact(),
+        masked(&Value::parse(&report.metrics_json()).unwrap()).to_string_compact(),
+        "{ctx}: masked metric snapshot must match"
+    );
+    let bits = resp
+        .result
+        .field("best_time_bits")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(
+        bits,
+        want.best_time.to_bits(),
+        "{ctx}: best_time must match to the bit"
+    );
+    assert_eq!(
+        resp.result
+            .field("best_fingerprint")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        want.best_config.semantic_hash(),
+        "{ctx}: best configuration fingerprint"
+    );
+    assert_eq!(
+        resp.result.field("explored").unwrap().as_u64().unwrap(),
+        want.explored as u64,
+        "{ctx}: explored count"
+    );
+}
+
+/// Eight clients at once, four distinct (model, gpus) keys — every served
+/// response must be bit-identical to its direct library run, while pairs
+/// of identical requests share one cached profile build.
+#[test]
+fn concurrent_requests_are_bit_identical_to_direct_runs() {
+    let (addr, handle) = start(ServeOptions {
+        workers: 8,
+        ..ServeOptions::default()
+    });
+    let requests: Vec<Request> = [
+        ("deepnet-8l", 2, 11u64),
+        ("deepnet-8l", 2, 12),
+        ("deepnet-12l", 2, 13),
+        ("deepnet-12l", 2, 14),
+        ("deepnet-8l", 4, 15),
+        ("deepnet-8l", 4, 16),
+        ("deepnet-16l", 4, 17),
+        ("deepnet-16l", 4, 18),
+    ]
+    .into_iter()
+    .map(|(model, gpus, seed)| Request {
+        model: model.into(),
+        gpus,
+        seed,
+        max_iterations: 8,
+        ..Request::default()
+    })
+    .collect();
+
+    let responses: Vec<Response> = std::thread::scope(|s| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                let addr = addr.clone();
+                s.spawn(move || serve::submit(&addr, req).expect("submit succeeds"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (resp, req)) in responses.iter().zip(&requests).enumerate() {
+        assert_matches_direct(resp, req, &format!("request {i} ({})", req.model));
+    }
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 8);
+    assert_eq!(report.counter(Counter::ServeRejected), 0);
+    // Four distinct (model, cluster) keys → four builds; the duplicate
+    // requests share them (as hits or by waiting out a concurrent build).
+    assert_eq!(report.counter(Counter::ProfileCacheMisses), 4);
+    assert_eq!(report.counter(Counter::ProfileCacheHits), 4);
+}
+
+/// A repeated request is a profile-cache hit with measurably lower
+/// profiling latency: the server reports the profiling phase's wall
+/// clock in the result frame (`profile_micros`), and a hit collapses it
+/// from a full `ProfileDb::build` to a map probe. (End-to-end latency is
+/// search-dominated and noisy in a test run; `serve_bench` reports the
+/// end-to-end cold/warm numbers.)
+#[test]
+fn repeated_request_is_a_faster_cache_hit() {
+    let (addr, handle) = start(ServeOptions::default());
+    let req = Request {
+        model: "gpt3-0.35b".into(),
+        gpus: 2,
+        max_iterations: 2,
+        ..Request::default()
+    };
+    let cold = serve::submit(&addr, &req).expect("cold submit");
+    let warm = serve::submit(&addr, &req).expect("warm submit");
+    let profile_micros = |r: &Response| r.result.field("profile_micros").unwrap().as_u64().unwrap();
+
+    assert_eq!(cold.cache, "miss");
+    assert_eq!(warm.cache, "hit");
+    assert!(
+        profile_micros(&warm) < profile_micros(&cold),
+        "cache hit must cut profiling latency: cold {}µs vs warm {}µs",
+        profile_micros(&cold),
+        profile_micros(&warm)
+    );
+    // Bit-equality holds across the hit/miss divide too.
+    assert_eq!(cold.events_jsonl(), warm.events_jsonl());
+    assert_eq!(
+        cold.result
+            .field("best_time_bits")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        warm.result
+            .field("best_time_bits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    );
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ProfileCacheHits), 1);
+    assert_eq!(report.counter(Counter::ProfileCacheMisses), 1);
+}
+
+/// Reads the `code` field of an error frame.
+fn error_code(frame: &Value) -> &str {
+    assert_eq!(frame.field("type").unwrap().as_str().unwrap(), "error");
+    frame.field("code").unwrap().as_str().unwrap()
+}
+
+/// Malformed frames get typed rejections: bad JSON keeps the connection
+/// (framing stayed aligned), an oversize prefix ends it, and both count
+/// as `serve_rejected`.
+#[test]
+fn malformed_frames_are_rejected_with_typed_errors() {
+    let (addr, handle) = start(ServeOptions::default());
+
+    // Bad JSON payload: typed error, connection survives for a retry.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(&3u32.to_be_bytes()).unwrap();
+    stream.write_all(b"{{{").unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).expect("error frame");
+    assert_eq!(error_code(&reply), "bad-frame");
+    write_frame(&mut stream, &obj([("type", Value::Str("stats".into()))])).unwrap();
+    let stats = read_frame(&mut stream).expect("stats after bad frame");
+    assert_eq!(stats.field("type").unwrap().as_str().unwrap(), "stats");
+    drop(stream);
+
+    // Oversize length prefix: typed error, then the server hangs up.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(&((MAX_FRAME_BYTES + 1) as u32).to_be_bytes())
+        .unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).expect("error frame");
+    assert_eq!(error_code(&reply), "oversize-frame");
+    assert!(matches!(read_frame(&mut stream), Err(WireError::Closed)));
+
+    // Unknown frame type and wrong protocol version are typed too.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_frame(&mut stream, &obj([("type", Value::Str("dance".into()))])).unwrap();
+    assert_eq!(
+        error_code(&read_frame(&mut stream).unwrap()),
+        "unknown-frame-type"
+    );
+    let mut bad_version = aceso::util::json::ToJson::to_json_value(&Request {
+        model: "deepnet-8l".into(),
+        ..Request::default()
+    });
+    if let Value::Object(fields) = &mut bad_version {
+        for (k, v) in fields.iter_mut() {
+            if k == "protocol_version" {
+                *v = Value::UInt(999);
+            }
+        }
+    }
+    write_frame(&mut stream, &bad_version).unwrap();
+    assert_eq!(
+        error_code(&read_frame(&mut stream).unwrap()),
+        "bad-protocol-version"
+    );
+    drop(stream);
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 0);
+    assert_eq!(report.counter(Counter::ServeRejected), 4);
+}
+
+/// With zero workers every well-formed request bounces with
+/// `rejected-busy` — the backpressure path, deterministically.
+#[test]
+fn zero_workers_reject_with_busy() {
+    let (addr, handle) = start(ServeOptions {
+        workers: 0,
+        ..ServeOptions::default()
+    });
+    let err = serve::submit(
+        &addr,
+        &Request {
+            model: "deepnet-8l".into(),
+            gpus: 2,
+            ..Request::default()
+        },
+    )
+    .expect_err("must be rejected");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "rejected-busy"),
+        other => panic!("expected a server rejection, got {other:?}"),
+    }
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 0);
+    assert_eq!(report.counter(Counter::ServeRejected), 1);
+}
+
+/// Oversized request budgets are refused before any work happens.
+#[test]
+fn over_budget_requests_are_refused() {
+    let (addr, handle) = start(ServeOptions {
+        max_budget_secs: Some(10),
+        ..ServeOptions::default()
+    });
+    let err = serve::submit(
+        &addr,
+        &Request {
+            model: "deepnet-8l".into(),
+            gpus: 2,
+            budget_secs: Some(11),
+            ..Request::default()
+        },
+    )
+    .expect_err("must be rejected");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "budget-too-large"),
+        other => panic!("expected a server rejection, got {other:?}"),
+    }
+    serve::shutdown(&addr).expect("shutdown");
+    handle.join().unwrap();
+}
+
+/// Shutdown drains: the daemon acknowledges, finishes, and the listener
+/// goes away; the drain report carries the session's counters.
+#[test]
+fn graceful_shutdown_drains_and_reports() {
+    let (addr, handle) = start(ServeOptions::default());
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 4,
+        ..Request::default()
+    };
+    serve::submit(&addr, &req).expect("submit");
+    serve::shutdown(&addr).expect("shutdown acknowledged");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 1);
+    assert_eq!(report.counter(Counter::ProfileCacheMisses), 1);
+    // The listener is gone: a fresh connection cannot complete a request.
+    match TcpStream::connect(&addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            // A connect may still succeed transiently (backlog); the
+            // stream must be dead end-to-end though.
+            let _ = write_frame(&mut stream, &obj([("type", Value::Str("stats".into()))]));
+            assert!(read_frame(&mut stream).is_err(), "daemon must be gone");
+        }
+    }
+}
+
+/// The submitted plan round-trips: a `plan: true` request returns the
+/// same JSON the runtime's `ExecutionPlan::build` produces directly.
+#[test]
+fn requested_plan_matches_direct_build() {
+    let (addr, handle) = start(ServeOptions::default());
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 4,
+        plan: true,
+        ..Request::default()
+    };
+    let resp = serve::submit(&addr, &req).expect("submit");
+    let plan = resp.plan.as_ref().expect("plan returned");
+    let (result, _) = direct_run(&req);
+    let direct = aceso::runtime::ExecutionPlan::build(
+        &aceso::model::zoo::by_name(&req.model).unwrap(),
+        &ClusterSpec::v100_gpus(req.gpus),
+        &result.best_config,
+    )
+    .expect("plan builds");
+    assert_eq!(
+        plan.to_string_compact(),
+        Value::parse(&direct.to_json()).unwrap().to_string_compact()
+    );
+    serve::shutdown(&addr).expect("shutdown");
+    handle.join().unwrap();
+}
