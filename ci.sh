@@ -49,6 +49,10 @@ rm -rf "$OBS_TMP"
 
 echo "==> serve smoke: daemon round-trip with schema-validated artifacts"
 SERVE_TMP=$(mktemp -d)
+SERVE_PID=""
+# Kill the daemon and drop the temp dir even when a later step trips
+# set -e mid-stage.
+trap 'kill "$SERVE_PID" 2>/dev/null || :; rm -rf "$SERVE_TMP"' EXIT
 cargo run --release --quiet --bin aceso -- serve \
     --addr 127.0.0.1:0 --workers 2 >"$SERVE_TMP/serve.log" &
 SERVE_PID=$!
@@ -58,7 +62,7 @@ for _ in $(seq 1 50); do
     [ -n "$ADDR" ] && break
     sleep 0.1
 done
-[ -n "$ADDR" ] || { echo "daemon never reported its address"; kill "$SERVE_PID"; exit 1; }
+[ -n "$ADDR" ] || { echo "daemon never reported its address"; exit 1; }
 cargo run --release --quiet --bin aceso -- submit \
     --addr "$ADDR" --model gpt3-0.35b --gpus 4 --iterations 24 \
     --metrics-out "$SERVE_TMP/metrics.json" \
@@ -69,6 +73,7 @@ cargo run --release --quiet --bin aceso -- submit --addr "$ADDR" --shutdown >/de
 wait "$SERVE_PID"
 grep -q "daemon drained" "$SERVE_TMP/serve.log" || {
     echo "daemon did not drain cleanly"; exit 1; }
+trap - EXIT
 rm -rf "$SERVE_TMP"
 
 echo "==> perf regression gate (vs committed BENCH_search.json)"

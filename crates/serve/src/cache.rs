@@ -12,10 +12,12 @@
 //! * concurrent requests for the same key share one build — later
 //!   arrivals block on a condvar until the first finishes, then count as
 //!   hits;
-//! * a miss that shares a cluster with resident entries folds their
-//!   entries in via [`ProfileDb::merge`] (partial-overlap reuse: shared
-//!   operator shapes are not re-measured conceptually, and lookups stay
-//!   bit-identical because every entry is a pure function of its key);
+//! * a miss that shares a cluster *and precision* with resident entries
+//!   folds their entries in via [`ProfileDb::merge`] (partial-overlap
+//!   reuse: shared operator shapes are not re-measured conceptually, and
+//!   lookups stay bit-identical because every entry is a pure function
+//!   of its key; mixed-precision databases are never merged — timings
+//!   depend on the precision but entry keys do not encode it);
 //! * total resident size is bounded by an LRU byte budget over
 //!   [`ProfileDb::approx_bytes`].
 //!
@@ -30,7 +32,7 @@ use aceso_util::json::ToJson;
 use aceso_util::FnvHasher;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Stable fingerprint of a model's profile-relevant content: the
 /// multiset of operator signatures (order-sensitively hashed — op order
@@ -88,6 +90,28 @@ pub struct ProfileCache {
     misses: AtomicU64,
 }
 
+/// Clears a `Building` slot and wakes waiters if the build unwinds.
+///
+/// Between inserting `Slot::Building` and inserting the finished entry
+/// the cache is in a transient state; if `ProfileDb::build` or the merge
+/// panics in between, waiters on the condvar would otherwise block
+/// forever on a slot nobody is building. Disarmed on success.
+struct BuildGuard<'a> {
+    cache: &'a ProfileCache,
+    key: (u64, u64),
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = self.cache.lock_state();
+            state.slots.remove(&self.key);
+            self.cache.built.notify_all();
+        }
+    }
+}
+
 impl ProfileCache {
     /// Creates a cache evicting least-recently-used entries once resident
     /// databases exceed `budget_bytes` (the entry being inserted is never
@@ -102,6 +126,15 @@ impl ProfileCache {
         }
     }
 
+    /// Locks the cache state, recovering from poisoning: a panic in one
+    /// request's build must not wedge every later cache call. The state
+    /// stays consistent under poisoning because mutations are either
+    /// single `insert`/`remove` calls or are rolled back by
+    /// [`BuildGuard`].
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the database for `(model, cluster)`, building it on first
     /// use. The boolean is `true` on a cache hit (including waiting out a
     /// concurrent build of the same key) and `false` when this call did
@@ -113,7 +146,7 @@ impl ProfileCache {
     ) -> (Arc<ProfileDb>, bool) {
         let key = (model_fingerprint(model), cluster_fingerprint(cluster));
         {
-            let mut state = self.state.lock().expect("cache lock");
+            let mut state = self.lock_state();
             loop {
                 match state.slots.get_mut(&key) {
                     Some(Slot::Ready(_)) => {
@@ -127,7 +160,10 @@ impl ProfileCache {
                         return (Arc::clone(&entry.db), true);
                     }
                     Some(Slot::Building) => {
-                        state = self.built.wait(state).expect("cache lock");
+                        state = self
+                            .built
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     None => {
                         state.slots.insert(key, Slot::Building);
@@ -136,24 +172,36 @@ impl ProfileCache {
                 }
             }
         }
+        let mut guard = BuildGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
 
         // Build outside the lock: profiling is the expensive part and
         // other keys must stay servable meanwhile.
         let mut db = ProfileDb::build(model, cluster);
+        // The entry's accounted cost is its own build size: entries
+        // folded in below are shared with (and already accounted by)
+        // their resident owners.
+        let bytes = db.approx_bytes();
 
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = self.lock_state();
         // Partial-overlap reuse: fold in every resident database built on
-        // the same cluster. Entries are pure functions of their keys, so
-        // the merge is conflict-free and cannot change any lookup.
+        // the same cluster at the same precision. Entries are pure
+        // functions of their keys, so the merge is conflict-free and
+        // cannot change any lookup. Precision must match exactly: the
+        // zoo mixes Fp16 and Fp32 models, and their timings are not
+        // interchangeable.
         for slot in state.slots.values() {
             if let Slot::Ready(entry) = slot {
-                if entry.cluster_fp == key.1 {
-                    db.merge(&entry.db);
+                if entry.cluster_fp == key.1 && entry.db.precision() == db.precision() {
+                    db.merge(&entry.db)
+                        .expect("precision checked before merging");
                 }
             }
         }
         let db = Arc::new(db);
-        let bytes = db.approx_bytes();
         state.tick += 1;
         let tick = state.tick;
         state.slots.insert(
@@ -165,6 +213,7 @@ impl ProfileCache {
                 last_use: tick,
             }),
         );
+        guard.armed = false;
         Self::evict_over_budget(&mut state, self.budget_bytes, key);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.built.notify_all();
@@ -216,9 +265,7 @@ impl ProfileCache {
 
     /// Number of resident databases.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("cache lock")
+        self.lock_state()
             .slots
             .values()
             .filter(|s| matches!(s, Slot::Ready(_)))
@@ -232,9 +279,7 @@ impl ProfileCache {
 
     /// Total approximate bytes of resident databases.
     pub fn resident_bytes(&self) -> u64 {
-        self.state
-            .lock()
-            .expect("cache lock")
+        self.lock_state()
             .slots
             .values()
             .filter_map(|s| match s {
@@ -249,6 +294,7 @@ impl ProfileCache {
 mod tests {
     use super::*;
     use aceso_model::zoo::gpt3_custom;
+    use aceso_model::Precision;
 
     fn small(name: &str, layers: usize) -> ModelGraph {
         gpt3_custom(name, layers, 256, 4, 128, 1000, 16)
@@ -296,6 +342,42 @@ mod tests {
         // contain at least everything `a` has.
         let (db_b, _) = cache.get_or_build(&small("b", 4), &c);
         assert!(db_b.len() >= db_a.len());
+    }
+
+    #[test]
+    fn mixed_precision_same_cluster_entries_do_not_merge() {
+        let cache = ProfileCache::new(u64::MAX);
+        let c = ClusterSpec::v100(1, 2);
+        // Disjoint operator shapes at different precisions on one
+        // cluster: without the precision filter the second build would
+        // fold the first database's Fp16 timings in (and, before that,
+        // trip `ProfileDb::merge`'s precision check).
+        let fp16 = small("a", 2);
+        let mut fp32 = gpt3_custom("b", 2, 512, 8, 128, 1000, 16);
+        fp32.precision = Precision::Fp32;
+        cache.get_or_build(&fp16, &c);
+        let (db32, _) = cache.get_or_build(&fp32, &c);
+        let direct = ProfileDb::build(&fp32, &c);
+        assert_eq!(db32.precision(), Precision::Fp32);
+        assert_eq!(db32.len(), direct.len(), "no Fp16 entries folded in");
+    }
+
+    #[test]
+    fn merged_entries_are_not_double_counted() {
+        let cache = ProfileCache::new(u64::MAX);
+        let c = ClusterSpec::v100(1, 2);
+        // Two models with disjoint shapes: the second build folds the
+        // first database in, but its accounted bytes stay its own build
+        // size — the folded entries are already accounted by their
+        // resident owner.
+        let a = small("a", 2);
+        let b = gpt3_custom("b", 2, 512, 8, 128, 1000, 16);
+        let own_a = ProfileDb::build(&a, &c).approx_bytes();
+        let own_b = ProfileDb::build(&b, &c).approx_bytes();
+        cache.get_or_build(&a, &c);
+        let (db_b, _) = cache.get_or_build(&b, &c);
+        assert!(db_b.approx_bytes() > own_b, "merge did fold entries in");
+        assert_eq!(cache.resident_bytes(), own_a + own_b);
     }
 
     #[test]

@@ -37,6 +37,18 @@ pub struct ServeOptions {
     pub cache_bytes: u64,
     /// Reject requests whose `budget_secs` exceeds this bound.
     pub max_budget_secs: Option<u64>,
+    /// Reject requests whose `gpus` exceeds this bound.
+    pub max_gpus: Option<usize>,
+    /// Reject requests whose `max_iterations` exceeds this bound — a
+    /// request with no wall-clock budget occupies a worker slot for its
+    /// whole iteration budget, so this caps how long one client can hold
+    /// a slot.
+    pub max_iterations: Option<usize>,
+    /// Reject `deepnet-<N>l` models deeper than this bound. Deepnet is
+    /// the one zoo family with a client-chosen size; the cap is checked
+    /// *before* the operator graph is built, so an absurd depth cannot
+    /// make the server allocate.
+    pub max_deepnet_layers: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -45,6 +57,9 @@ impl Default for ServeOptions {
             workers: 4,
             cache_bytes: 256 << 20,
             max_budget_secs: Some(600),
+            max_gpus: Some(256),
+            max_iterations: Some(10_000),
+            max_deepnet_layers: Some(1024),
         }
     }
 }
@@ -200,6 +215,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
+/// Layer count of a `deepnet-<N>l` model name, parsed without building
+/// the graph (mirrors `zoo::by_name`'s vocabulary).
+fn deepnet_layers(model: &str) -> Option<usize> {
+    model
+        .strip_prefix("deepnet-")?
+        .strip_suffix('l')?
+        .parse()
+        .ok()
+}
+
 /// Validates, admits, runs, and streams one search request.
 fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
     match frame.get("protocol_version").and_then(|v| v.as_u64().ok()) {
@@ -224,17 +249,47 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
         shared.reject(stream, "shutting-down", "server is draining");
         return;
     }
-    let Some(model) = zoo::by_name(&req.model) else {
-        shared.reject(
-            stream,
-            "unknown-model",
-            &format!("unknown model `{}`", req.model),
-        );
-        return;
-    };
     if req.gpus == 0 {
         shared.reject(stream, "bad-request", "gpus must be at least 1");
         return;
+    }
+    // Resource caps guard the worker pool and the allocator: gpus and
+    // iterations bound how long a request can occupy a slot, and the
+    // deepnet depth cap runs before `zoo::by_name` builds the graph so a
+    // hostile depth cannot make the server allocate billions of ops.
+    if let Some(max) = shared.opts.max_gpus {
+        if req.gpus > max {
+            shared.reject(
+                stream,
+                "bad-request",
+                &format!("gpus {} exceeds the server limit of {max}", req.gpus),
+            );
+            return;
+        }
+    }
+    if let Some(max) = shared.opts.max_iterations {
+        if req.max_iterations > max {
+            shared.reject(
+                stream,
+                "bad-request",
+                &format!(
+                    "max_iterations {} exceeds the server limit of {max}",
+                    req.max_iterations
+                ),
+            );
+            return;
+        }
+    }
+    if let (Some(max), Some(layers)) = (shared.opts.max_deepnet_layers, deepnet_layers(&req.model))
+    {
+        if layers > max {
+            shared.reject(
+                stream,
+                "bad-request",
+                &format!("deepnet depth {layers} exceeds the server limit of {max}"),
+            );
+            return;
+        }
     }
     if let (Some(max), Some(b)) = (shared.opts.max_budget_secs, req.budget_secs) {
         if b > max {
@@ -246,6 +301,14 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
             return;
         }
     }
+    let Some(model) = zoo::by_name(&req.model) else {
+        shared.reject(
+            stream,
+            "unknown-model",
+            &format!("unknown model `{}`", req.model),
+        );
+        return;
+    };
     // Backpressure: try-acquire a worker slot, never queue.
     let _slot = {
         let mut n = shared.in_flight.lock().expect("slot lock");

@@ -39,7 +39,8 @@ usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
              [--events-out FILE] [--no-metrics]
        aceso audit [--smoke] [--json FILE] [--epsilon E]
        aceso serve [--addr HOST:PORT] [--workers N] [--cache-mb M]
-             [--max-budget-secs S]
+             [--max-budget-secs S] [--max-gpus N] [--max-iterations I]
+             [--max-deepnet-layers L]
        aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
              [--zero] [--iterations I] [--budget-secs S] [--seed K]
              [--plan-out FILE] [--metrics-out FILE] [--events-out FILE]
@@ -74,6 +75,12 @@ serve: run the search daemon (wire contract in docs/SERVER.md)
   --cache-mb M      profile-cache byte budget in MiB (default 256)
   --max-budget-secs S  reject requests with a larger wall-clock budget
                     (default 600; 0 = unlimited)
+  --max-gpus N      reject requests simulating more GPUs (default 256;
+                    0 = unlimited)
+  --max-iterations I  reject requests with a larger per-stage-count
+                    iteration budget (default 10000; 0 = unlimited)
+  --max-deepnet-layers L  reject deeper deepnet-<N>l requests before the
+                    graph is built (default 1024; 0 = unlimited)
 
 submit: send one search to a daemon and collect the streamed response
   --iterations I    per-stage-count iteration budget (default 48); the
@@ -159,6 +166,21 @@ fn run_serve(mut it: impl Iterator<Item = String>) -> ! {
                 v.parse::<u64>()
                     .map(|s| opts.max_budget_secs = (s > 0).then_some(s))
                     .map_err(|e| format!("--max-budget-secs: {e}"))
+            }),
+            "--max-gpus" => value("--max-gpus").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| opts.max_gpus = (n > 0).then_some(n))
+                    .map_err(|e| format!("--max-gpus: {e}"))
+            }),
+            "--max-iterations" => value("--max-iterations").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| opts.max_iterations = (n > 0).then_some(n))
+                    .map_err(|e| format!("--max-iterations: {e}"))
+            }),
+            "--max-deepnet-layers" => value("--max-deepnet-layers").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| opts.max_deepnet_layers = (n > 0).then_some(n))
+                    .map_err(|e| format!("--max-deepnet-layers: {e}"))
             }),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");

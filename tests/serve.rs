@@ -294,6 +294,47 @@ fn zero_workers_reject_with_busy() {
     assert_eq!(report.counter(Counter::ServeRejected), 1);
 }
 
+/// Server-side resource caps bound what one request may ask for: an
+/// absurd deepnet depth is rejected before the operator graph is even
+/// built, and oversized gpus / iteration budgets bounce the same way,
+/// all counting as `serve_rejected`.
+#[test]
+fn resource_caps_reject_oversized_requests() {
+    let (addr, handle) = start(ServeOptions {
+        max_deepnet_layers: Some(64),
+        max_gpus: Some(8),
+        max_iterations: Some(100),
+        ..ServeOptions::default()
+    });
+    let expect_bad_request =
+        |req: &Request| match serve::submit(&addr, req).expect_err("must be rejected") {
+            ClientError::Server { code, .. } => assert_eq!(code, "bad-request"),
+            other => panic!("expected a server rejection, got {other:?}"),
+        };
+    // Would be billions of ops if the graph were built; the rejection
+    // must come back without the allocation (instantly).
+    expect_bad_request(&Request {
+        model: "deepnet-999999999l".into(),
+        gpus: 2,
+        ..Request::default()
+    });
+    expect_bad_request(&Request {
+        model: "deepnet-8l".into(),
+        gpus: 16,
+        ..Request::default()
+    });
+    expect_bad_request(&Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 101,
+        ..Request::default()
+    });
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 0);
+    assert_eq!(report.counter(Counter::ServeRejected), 3);
+}
+
 /// Oversized request budgets are refused before any work happens.
 #[test]
 fn over_budget_requests_are_refused() {
