@@ -4,10 +4,12 @@
 # the full-corpus differential perf-equivalence sweep (incremental vs
 # from-scratch evaluation must stay bit-identical), an audit smoke run
 # that must come back with zero findings, an observability smoke run
-# whose artifacts must validate against the documented schema, and a
-# perf regression gate against the committed BENCH_search.json (median
-# of three runs; mean evaluation latency must not regress by more than
-# 1.5x).
+# whose artifacts must validate against the documented schema, a serve
+# daemon round-trip, a crash-recovery smoke (SIGKILL the daemon
+# mid-search, restart it, resubmit — the resumed event stream must be
+# byte-identical to an uninterrupted reference), and a perf regression
+# gate against the committed BENCH_search.json (median of three runs;
+# mean evaluation latency must not regress by more than 1.5x).
 set -eu
 
 cd "$(dirname "$0")"
@@ -75,6 +77,71 @@ grep -q "daemon drained" "$SERVE_TMP/serve.log" || {
     echo "daemon did not drain cleanly"; exit 1; }
 trap - EXIT
 rm -rf "$SERVE_TMP"
+
+echo "==> crash-recovery smoke: SIGKILL mid-search, restart, resume"
+CRASH_TMP=$(mktemp -d)
+CRASH_PID=""
+trap 'kill -9 "$CRASH_PID" 2>/dev/null || :; rm -rf "$CRASH_TMP"' EXIT
+# Run the release binary directly (not via cargo) so the SIGKILL below
+# lands on the daemon itself, exactly like a crash or OOM kill would.
+target/release/aceso serve --addr 127.0.0.1:0 --workers 2 \
+    --spool-dir "$CRASH_TMP/spool" --checkpoint-every 2 \
+    >"$CRASH_TMP/serve.log" &
+CRASH_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$CRASH_TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "crash daemon never reported its address"; exit 1; }
+# Reference: the same request, uninterrupted, no spooling involved.
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 24 \
+    --events-out "$CRASH_TMP/ref-events.jsonl" >/dev/null
+# Crash run: submit with a request id in the background, SIGKILL the
+# daemon the moment a checkpoint spool appears on disk.
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 24 --request-id ci-crash \
+    >/dev/null 2>&1 &
+SUBMIT_PID=$!
+SPOOL=""
+for _ in $(seq 1 100); do
+    SPOOL=$(find "$CRASH_TMP/spool" -name 'ci-crash-*.ckpt' 2>/dev/null | head -n 1)
+    [ -n "$SPOOL" ] && break
+    sleep 0.05
+done
+[ -n "$SPOOL" ] || { echo "no checkpoint spool appeared before the search finished"; exit 1; }
+kill -9 "$CRASH_PID"
+wait "$SUBMIT_PID" 2>/dev/null || :  # the client lost its daemon — expected
+# Restart the daemon on the same spool dir and resubmit the same id:
+# the search must resume from the spooled checkpoint and the collected
+# event stream must be byte-identical to the uninterrupted reference.
+target/release/aceso serve --addr 127.0.0.1:0 --workers 2 \
+    --spool-dir "$CRASH_TMP/spool" --checkpoint-every 2 \
+    >"$CRASH_TMP/serve2.log" &
+CRASH_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$CRASH_TMP/serve2.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted daemon never reported its address"; exit 1; }
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 24 --request-id ci-crash --retries 3 \
+    --events-out "$CRASH_TMP/crash-events.jsonl" >/dev/null
+cmp "$CRASH_TMP/ref-events.jsonl" "$CRASH_TMP/crash-events.jsonl" || {
+    echo "resumed event stream diverged from the uninterrupted reference"; exit 1; }
+target/release/aceso submit --addr "$ADDR" --stats >"$CRASH_TMP/stats.json"
+grep -q '"search_resumed": *1' "$CRASH_TMP/stats.json" || {
+    echo "restarted daemon did not count the resume"; exit 1; }
+grep -q '"client_retries": *[1-9]' "$CRASH_TMP/stats.json" || {
+    echo "restarted daemon did not count the client retry"; exit 1; }
+target/release/aceso submit --addr "$ADDR" --shutdown >/dev/null
+wait "$CRASH_PID"
+trap - EXIT
+rm -rf "$CRASH_TMP"
 
 echo "==> perf regression gate (vs committed BENCH_search.json)"
 cargo run --release --quiet -p aceso-bench --bin obs_check

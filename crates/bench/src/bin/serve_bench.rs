@@ -1,7 +1,13 @@
 //! Serve-mode latency harness (not a paper experiment): measures what
 //! the cross-request profile cache buys by submitting the same job to an
 //! in-process loopback daemon cold (cache miss) and warm (cache hit),
-//! and reports end-to-end plus profiling-phase latency for both.
+//! and reports end-to-end plus profiling-phase latency for both. A
+//! final spooled request (request id + `--spool-dir` checkpointing)
+//! measures what crash recovery costs on top of a warm hit. The
+//! checkpoint slices live between iterations — the per-evaluation hot
+//! path (`eval_latency_us`) is untouched — so the printed overhead is
+//! purely the pause/serialise/resume cycles, a few hundred
+//! milliseconds per checkpoint interval at default settings.
 //!
 //! ```console
 //! $ cargo run --release -p aceso-bench --bin serve_bench [model] [gpus]
@@ -24,7 +30,15 @@ fn main() {
         std::process::exit(2);
     }
 
-    let server = Server::bind("127.0.0.1:0", ServeOptions::default()).expect("binds");
+    let spool = std::env::temp_dir().join(format!("aceso-serve-bench-{}", std::process::id()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            spool_dir: Some(spool.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("binds");
     let addr = server.local_addr().to_string();
     let daemon = std::thread::spawn(move || server.run());
 
@@ -46,7 +60,13 @@ fn main() {
         ],
     );
     let mut timings = Vec::new();
-    for label in ["cold", "warm-1", "warm-2"] {
+    for label in ["cold", "warm-1", "warm-2", "warm-spooled"] {
+        // The last request opts into checkpoint spooling via a request
+        // id — same search, same warm cache, plus the recovery spool.
+        let req = Request {
+            request_id: (label == "warm-spooled").then(|| "serve-bench".into()),
+            ..req.clone()
+        };
         let t0 = Instant::now();
         let resp = submit(&addr, &req).expect("submit succeeds");
         let total = t0.elapsed();
@@ -68,11 +88,12 @@ fn main() {
     }
     shutdown(&addr).expect("shutdown");
     daemon.join().expect("daemon drains");
+    let _ = std::fs::remove_dir_all(&spool);
 
     print!("{}", table.render());
     let (_, _, cold_total, cold_micros) = &timings[0];
-    let warm_micros = timings[1..].iter().map(|t| t.3).min().unwrap();
-    let warm_total = timings[1..].iter().map(|t| t.2).min().unwrap();
+    let warm_micros = timings[1..3].iter().map(|t| t.3).min().unwrap();
+    let warm_total = timings[1..3].iter().map(|t| t.2).min().unwrap();
     println!(
         "profile-cache speedup: {:.1}x on the profiling phase ({} µs -> {} µs), \
          end-to-end {:.2?} -> {:.2?}",
@@ -81,6 +102,12 @@ fn main() {
         warm_micros,
         cold_total,
         warm_total,
+    );
+    let (_, _, spooled_total, _) = &timings[3];
+    println!(
+        "checkpoint-spool overhead: warm {warm_total:.2?} -> spooled {spooled_total:.2?} \
+         ({:+.1}% end-to-end)",
+        100.0 * (spooled_total.as_secs_f64() / warm_total.as_secs_f64().max(1e-9) - 1.0),
     );
     assert!(
         warm_micros < *cold_micros,

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod bottleneck;
+pub mod checkpoint;
 pub mod finetune;
 pub mod invariants;
 pub mod primitives;
@@ -22,6 +23,12 @@ pub mod trace;
 pub mod transform;
 
 pub use bottleneck::{ranked_bottlenecks, Bottleneck};
+pub use checkpoint::{
+    cluster_fingerprint, intern_obs_str, model_fingerprint, options_fingerprint, CheckpointError,
+    SearchCheckpoint, StageCheckpoint, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use primitives::{Candidate, Primitive, Resource, Trend};
-pub use search::{AcesoSearch, ScoredConfig, SearchError, SearchOptions, SearchResult};
+pub use search::{
+    AcesoSearch, ResumeError, ScoredConfig, SearchError, SearchOptions, SearchResult, SearchStep,
+};
 pub use trace::{AcceptedConfig, ConvergencePoint, IterationRecord, SearchTrace};

@@ -2,17 +2,22 @@
 //! (multi-hop search), run in parallel over pipeline stage counts (§4.3).
 
 use crate::bottleneck::{ranked_bottlenecks, Bottleneck};
+use crate::checkpoint::{
+    cluster_fingerprint, model_fingerprint, options_fingerprint, CheckpointError,
+    CheckpointedScore, ParkedConfig, SearchCheckpoint, StageCheckpoint, StageProgress,
+    CHECKPOINT_SCHEMA_VERSION,
+};
 use crate::finetune::fine_tune;
 use crate::primitives::{generate_with, GenOptions, Primitive};
 use crate::trace::{AcceptedConfig, ConvergencePoint, IterationRecord, SearchTrace};
 use aceso_cluster::ClusterSpec;
 use aceso_config::{balanced_init, ConfigError, ParallelConfig};
 use aceso_model::ModelGraph;
-use aceso_obs::{Counter, Event, HistKind, ObsReport, Recorder};
+use aceso_obs::{Counter, Event, HistKind, Metrics, ObsReport, Recorder};
 use aceso_perf::{CachedEvaluator, ConfigEstimate, Evaluator, P2pMemo, PerfModel};
 use aceso_profile::ProfileDb;
 use aceso_util::SplitMix64;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Tunable knobs of the search.
@@ -122,6 +127,42 @@ pub struct SearchResult {
     pub traces: Vec<SearchTrace>,
 }
 
+/// Outcome of a pausable search slice ([`AcesoSearch::run_partial`] /
+/// [`AcesoSearch::resume_partial`]).
+#[derive(Debug)]
+// `Done` is the one-shot terminal value; boxing it would add an allocation
+// to every completed search to shrink a type that is never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+pub enum SearchStep {
+    /// Every stage count ran to completion; the result and report are
+    /// bit-identical to an uninterrupted [`AcesoSearch::run_observed`].
+    Done(SearchResult, ObsReport),
+    /// At least one stage count hit the pause bound; the checkpoint
+    /// captures the complete search state.
+    Paused(Box<SearchCheckpoint>),
+}
+
+/// Why a checkpoint resume failed.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The checkpoint does not belong to this search (wrong model,
+    /// cluster, options, metrics flag, or schema version).
+    Incompatible(CheckpointError),
+    /// The resumed search itself failed.
+    Search(SearchError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Incompatible(e) => write!(f, "cannot resume: {e}"),
+            ResumeError::Search(e) => write!(f, "resumed search failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
 /// Min-heap entry for the unexplored-configurations pool.
 struct HeapEntry {
     score: f64,
@@ -203,32 +244,132 @@ impl<'a> AcesoSearch<'a> {
     /// When `metrics` is off the instrumentation compiles down to a
     /// branch per site and the report comes back empty.
     pub fn run_observed(&self, metrics: bool) -> Result<(SearchResult, ObsReport), SearchError> {
+        match self.drive(metrics, None, None)? {
+            SearchStep::Done(result, report) => Ok((result, report)),
+            SearchStep::Paused(_) => unreachable!("no pause bound was set"),
+        }
+    }
+
+    /// Runs the search until every stage count finishes or reaches
+    /// iteration `pause_after`, whichever comes first. On pause the
+    /// returned [`SearchCheckpoint`] captures the complete state;
+    /// feeding it to [`AcesoSearch::resume_partial`] continues exactly
+    /// where the slice stopped, and running resumed slices to completion
+    /// yields results bit-identical to an uninterrupted run.
+    pub fn run_partial(
+        &self,
+        metrics: bool,
+        pause_after: usize,
+    ) -> Result<SearchStep, SearchError> {
+        self.drive(metrics, None, Some(pause_after))
+    }
+
+    /// Checks that `ckpt` was produced by a search over the same model,
+    /// cluster, result-affecting options, and metrics flag.
+    pub fn checkpoint_compatible(
+        &self,
+        ckpt: &SearchCheckpoint,
+        metrics: bool,
+    ) -> Result<(), CheckpointError> {
+        if ckpt.schema_version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(CheckpointError::UnknownSchemaVersion(ckpt.schema_version));
+        }
+        if ckpt.model_fingerprint != model_fingerprint(self.model) {
+            return Err(CheckpointError::Mismatch("model fingerprint"));
+        }
+        if ckpt.cluster_fingerprint != cluster_fingerprint(self.cluster) {
+            return Err(CheckpointError::Mismatch("cluster fingerprint"));
+        }
+        if ckpt.options_fingerprint != options_fingerprint(&self.options) {
+            return Err(CheckpointError::Mismatch("options fingerprint"));
+        }
+        if ckpt.metrics != metrics {
+            return Err(CheckpointError::Mismatch("metrics flag"));
+        }
+        Ok(())
+    }
+
+    /// Resumes from a checkpoint, running until every stage finishes or
+    /// reaches the (absolute) iteration bound `pause_after`; `None`
+    /// runs to completion. Fails with [`ResumeError::Incompatible`]
+    /// before doing any work when the checkpoint belongs to a different
+    /// search.
+    pub fn resume_partial(
+        &self,
+        metrics: bool,
+        ckpt: &SearchCheckpoint,
+        pause_after: Option<usize>,
+    ) -> Result<SearchStep, ResumeError> {
+        self.checkpoint_compatible(ckpt, metrics)
+            .map_err(ResumeError::Incompatible)?;
+        self.drive(metrics, Some(ckpt), pause_after)
+            .map_err(ResumeError::Search)
+    }
+
+    /// Resumes from a checkpoint and runs to completion. The result and
+    /// report are bit-identical to an uninterrupted
+    /// [`AcesoSearch::run_observed`] with the same inputs.
+    pub fn resume_from(
+        &self,
+        metrics: bool,
+        ckpt: &SearchCheckpoint,
+    ) -> Result<(SearchResult, ObsReport), ResumeError> {
+        match self.resume_partial(metrics, ckpt, None)? {
+            SearchStep::Done(result, report) => Ok((result, report)),
+            SearchStep::Paused(_) => unreachable!("no pause bound was set"),
+        }
+    }
+
+    /// The engine behind [`AcesoSearch::run_observed`] and the partial
+    /// variants: drives every stage count either fresh or from its
+    /// checkpointed state, to completion or to the pause bound.
+    fn drive(
+        &self,
+        metrics: bool,
+        restore: Option<&SearchCheckpoint>,
+        pause_after: Option<usize>,
+    ) -> Result<SearchStep, SearchError> {
         let start = Instant::now();
-        let deadline = self.options.time_budget.map(|b| start + b);
+        let prior_elapsed = restore.map_or(0.0, SearchCheckpoint::elapsed_secs);
+        // A resumed search gets the *remaining* budget: previous slices'
+        // wall time already counted against it.
+        let deadline = self.options.time_budget.map(|b| {
+            let remaining = (b.as_secs_f64() - prior_elapsed).max(0.0);
+            start + Duration::from_secs_f64(remaining)
+        });
         let counts = match (&self.options.initial, &self.options.stage_counts) {
             (Some(init), _) => vec![init.num_stages()],
             (None, Some(c)) => c.clone(),
             (None, None) => self.default_stage_counts(),
         };
 
-        let mut report = ObsReport::new();
-        let head = Recorder::new(metrics);
-        head.emit(|| Event::SearchStart {
-            stage_counts: counts.clone(),
-            max_hops: self.options.max_hops,
-            max_iterations: self.options.max_iterations,
-            top_k: self.options.top_k,
-            seed: self.options.seed,
-            heuristic2: self.options.use_heuristic2,
-        });
-        report.absorb(head);
+        let head_events: Vec<Event> = match restore {
+            Some(c) => c.head_events.clone(),
+            None => {
+                let head = Recorder::new(metrics);
+                head.emit(|| Event::SearchStart {
+                    stage_counts: counts.clone(),
+                    max_hops: self.options.max_hops,
+                    max_iterations: self.options.max_iterations,
+                    top_k: self.options.top_k,
+                    seed: self.options.seed,
+                    heuristic2: self.options.use_heuristic2,
+                });
+                head.into_parts().0
+            }
+        };
+        let restored: HashMap<usize, &StageCheckpoint> = restore
+            .map(|c| c.stages.iter().map(|s| (s.stage_count, s)).collect())
+            .unwrap_or_default();
 
-        let mut runs: Vec<(Vec<ScoredConfig>, SearchTrace, Recorder)> = Vec::new();
+        let mut outcomes: Vec<StageOutcome> = Vec::new();
         // One boundary-p2p memo for the whole search: sub-searches at
         // different stage counts cut the model at many of the same device
         // boundaries, so whichever thread computes a (bytes, from, to)
         // triple first serves every other thread. Values are exact
-        // `ProfileDb::p2p_time` results — sharing cannot change any score.
+        // `ProfileDb::p2p_time` results — sharing cannot change any score,
+        // so it is deliberately *not* checkpointed (a cold memo on resume
+        // recomputes identical values and touches no counter).
         let p2p = P2pMemo::new();
         if self.options.parallel && counts.len() > 1 {
             std::thread::scope(|scope| {
@@ -236,32 +377,76 @@ impl<'a> AcesoSearch<'a> {
                     .iter()
                     .map(|&p| {
                         let p2p = &p2p;
-                        scope.spawn(move || self.search_stage_count(p, deadline, metrics, p2p))
+                        let prev = restored.get(&p).copied();
+                        scope.spawn(move || {
+                            self.stage_slice(p, deadline, metrics, p2p, prev, pause_after)
+                        })
                     })
                     .collect();
                 for h in handles {
-                    if let Ok(Some(r)) = h.join() {
-                        runs.push(r);
+                    if let Ok(Some(o)) = h.join() {
+                        outcomes.push(o);
                     }
                 }
             });
         } else {
             for &p in &counts {
-                if let Some(r) = self.search_stage_count(p, deadline, metrics, &p2p) {
-                    runs.push(r);
+                let prev = restored.get(&p).copied();
+                if let Some(o) = self.stage_slice(p, deadline, metrics, &p2p, prev, pause_after) {
+                    outcomes.push(o);
                 }
             }
         }
+        // Deterministic merge order regardless of thread completion order.
+        outcomes.sort_by_key(StageOutcome::stage_count);
 
+        if outcomes
+            .iter()
+            .any(|o| matches!(o, StageOutcome::Paused(_)))
+        {
+            let elapsed = prior_elapsed + start.elapsed().as_secs_f64();
+            let stages = outcomes
+                .into_iter()
+                .map(|o| match o {
+                    StageOutcome::Finished { tops, trace, rec } => {
+                        let (events, mets) = rec.into_parts();
+                        StageCheckpoint {
+                            stage_count: trace.stage_count,
+                            done: true,
+                            events,
+                            metrics: mets,
+                            trace,
+                            progress: None,
+                            tops: tops.iter().map(CheckpointedScore::from_scored).collect(),
+                        }
+                    }
+                    StageOutcome::Paused(sc) => sc,
+                })
+                .collect();
+            return Ok(SearchStep::Paused(Box::new(SearchCheckpoint {
+                schema_version: CHECKPOINT_SCHEMA_VERSION,
+                model_fingerprint: model_fingerprint(self.model),
+                cluster_fingerprint: cluster_fingerprint(self.cluster),
+                options_fingerprint: options_fingerprint(&self.options),
+                metrics,
+                elapsed_secs_bits: elapsed.to_bits(),
+                head_events,
+                stages,
+            })));
+        }
+
+        let mut report = ObsReport::new();
+        report.absorb(Recorder::from_parts(head_events, Metrics::default()));
         let mut all: Vec<ScoredConfig> = Vec::new();
         let mut traces = Vec::new();
         let mut explored = 0usize;
-        // Deterministic merge order regardless of thread completion order.
-        runs.sort_by_key(|(_, t, _)| t.stage_count);
-        for (configs, trace, rec) in runs {
+        for o in outcomes {
+            let StageOutcome::Finished { tops, trace, rec } = o else {
+                unreachable!("paused outcomes already returned a checkpoint")
+            };
             explored += trace.explored;
             traces.push(trace);
-            all.extend(configs);
+            all.extend(tops);
             report.absorb(rec);
         }
         all.sort_by(|a, b| {
@@ -280,33 +465,61 @@ impl<'a> AcesoSearch<'a> {
             best_fingerprint: best.config.semantic_hash(),
         });
         report.absorb(tail);
-        report.set_wall_time(start.elapsed().as_secs_f64());
+        report.set_wall_time(prior_elapsed + start.elapsed().as_secs_f64());
 
-        Ok((
+        Ok(SearchStep::Done(
             SearchResult {
                 best_config: best.config,
                 best_time: best.iteration_time,
                 best_oom: best.oom,
                 top_configs: all,
                 explored,
-                wall_time: start.elapsed(),
+                wall_time: Duration::from_secs_f64(prior_elapsed) + start.elapsed(),
                 traces,
             },
             report,
         ))
     }
 
-    /// One stage-count search (Algorithm 1).
-    fn search_stage_count(
+    /// One stage-count search slice (Algorithm 1): fresh or restored
+    /// from `prev`, running to completion or to the `pause_after`
+    /// iteration bound.
+    fn stage_slice(
         &self,
         p: usize,
         deadline: Option<Instant>,
         metrics: bool,
         p2p: &P2pMemo,
-    ) -> Option<(Vec<ScoredConfig>, SearchTrace, Recorder)> {
+        prev: Option<&StageCheckpoint>,
+        pause_after: Option<usize>,
+    ) -> Option<StageOutcome> {
+        // A stage that already finished in a previous slice replays its
+        // saved outcome verbatim — its events, metrics, trace, and
+        // bit-exact top-k pool re-enter the merge unchanged.
+        if let Some(sc) = prev {
+            if sc.done {
+                return Some(StageOutcome::Finished {
+                    tops: sc.tops.iter().map(CheckpointedScore::to_scored).collect(),
+                    trace: sc.trace.clone(),
+                    rec: Recorder::from_parts(sc.events.clone(), sc.metrics.clone()),
+                });
+            }
+        }
+        let progress = prev.and_then(|sc| sc.progress.as_ref());
         // The recorder outlives everything that borrows it (`ev`, `ctx`);
         // it is returned by value to the parent for deterministic merging.
-        let rec = Recorder::new(metrics);
+        // Resuming splices the restored slice onto the saved stream: the
+        // events and metrics recorded so far are pre-loaded, so the merged
+        // output equals an uninterrupted run's. (With metrics off the
+        // saved parts are empty by construction — the checkpoint's
+        // `metrics` flag is enforced before resuming.)
+        let rec = match (progress.is_some(), metrics) {
+            (true, true) => {
+                let sc = prev.expect("progress implies a previous checkpoint");
+                Recorder::from_parts(sc.events.clone(), sc.metrics.clone())
+            }
+            _ => Recorder::new(metrics),
+        };
         // Per-thread memoizing evaluator: primitives touch at most two
         // stages, so most candidate scores reuse cached stage estimates
         // (bit-identical to scoring from scratch). Boundary p2p estimates
@@ -316,10 +529,6 @@ impl<'a> AcesoSearch<'a> {
                 .with_obs(&rec)
                 .with_p2p_memo(p2p),
         );
-        let init = match &self.options.initial {
-            Some(c) if c.num_stages() == p => c.clone(),
-            _ => balanced_init(self.model, self.cluster, p).ok()?,
-        };
         let start = Instant::now();
         let mut ctx = Ctx {
             ev,
@@ -333,25 +542,66 @@ impl<'a> AcesoSearch<'a> {
             rng: SplitMix64::new(self.options.seed ^ (p as u64)),
             tie_counter: 0,
         };
-        let mut trace = SearchTrace {
-            stage_count: p,
-            max_hops: self.options.max_hops,
-            ..SearchTrace::default()
-        };
+        let mut trace;
+        let mut config;
+        let mut best;
+        let mut iter;
+        match progress {
+            Some(pr) => {
+                // Restore every piece of mutable sub-search state
+                // bit-exactly; nothing is re-evaluated here, so no
+                // counter moves until the loop resumes.
+                trace = prev
+                    .expect("progress implies a previous checkpoint")
+                    .trace
+                    .clone();
+                config = pr.current.clone();
+                best = pr.best.to_scored();
+                iter = pr.next_iter;
+                ctx.visited = pr.visited.iter().copied().collect();
+                for e in &pr.unexplored {
+                    ctx.unexplored.push(HeapEntry {
+                        score: f64::from_bits(e.score_bits),
+                        tie: e.tie,
+                        config: e.config.clone(),
+                    });
+                }
+                ctx.explored = pr.explored;
+                ctx.rng = SplitMix64::from_state(pr.rng_state);
+                ctx.tie_counter = pr.tie_counter;
+                ctx.ev.import_memo(pr.memo.clone());
+            }
+            None => {
+                let init = match &self.options.initial {
+                    Some(c) if c.num_stages() == p => c.clone(),
+                    _ => balanced_init(self.model, self.cluster, p).ok()?,
+                };
+                trace = SearchTrace {
+                    stage_count: p,
+                    max_hops: self.options.max_hops,
+                    ..SearchTrace::default()
+                };
+                config = init;
+                ctx.visited.insert(config.semantic_hash());
+                best = ctx.scored(&config);
+                trace.initial_score = best.score;
+                ctx.explored += 1;
+                rec.count(Counter::StageSearches);
+                rec.emit(|| Event::StageStart {
+                    stage_count: p,
+                    init_fingerprint: config.semantic_hash(),
+                    init_score: best.score,
+                });
+                iter = 0;
+            }
+        }
 
-        let mut config = init;
-        ctx.visited.insert(config.semantic_hash());
-        let mut best = ctx.scored(&config);
-        trace.initial_score = best.score;
-        ctx.explored += 1;
-        rec.count(Counter::StageSearches);
-        rec.emit(|| Event::StageStart {
-            stage_count: p,
-            init_fingerprint: config.semantic_hash(),
-            init_score: best.score,
-        });
-
-        for iter in 0..self.options.max_iterations {
+        let mut paused = false;
+        while iter < self.options.max_iterations {
+            if pause_after.is_some_and(|bound| iter >= bound) {
+                paused = true;
+                break;
+            }
             if ctx.expired() {
                 break;
             }
@@ -442,11 +692,56 @@ impl<'a> AcesoSearch<'a> {
                     None => break,
                 },
             }
+            // Wall-clock only (never part of bit-identity): on a resumed
+            // slice the clock restarts, so convergence timestamps are
+            // per-slice, not cumulative.
             trace.convergence.push(ConvergencePoint {
                 elapsed: start.elapsed().as_secs_f64(),
                 explored: ctx.explored,
                 best_score: best.score,
             });
+            iter += 1;
+        }
+
+        if paused {
+            let memo = ctx.ev.export_memo();
+            // Canonical orders: the live `HashSet` iterates
+            // nondeterministically, and the heap's internal arrangement
+            // depends on insertion history — both must serialise to the
+            // same bytes however the slice got here.
+            let mut visited: Vec<u64> = ctx.visited.iter().copied().collect();
+            visited.sort_unstable();
+            let unexplored: Vec<ParkedConfig> = std::mem::take(&mut ctx.unexplored)
+                .into_sorted_vec()
+                .into_iter()
+                .map(|e| ParkedConfig {
+                    score_bits: e.score.to_bits(),
+                    tie: e.tie,
+                    config: e.config,
+                })
+                .collect();
+            let progress = StageProgress {
+                next_iter: iter,
+                current: config,
+                best: CheckpointedScore::from_scored(&best),
+                visited,
+                unexplored,
+                explored: ctx.explored,
+                tie_counter: ctx.tie_counter,
+                rng_state: ctx.rng.state(),
+                memo,
+            };
+            drop(ctx);
+            let (events, mets) = rec.into_parts();
+            return Some(StageOutcome::Paused(StageCheckpoint {
+                stage_count: p,
+                done: false,
+                events,
+                metrics: mets,
+                trace,
+                progress: Some(progress),
+                tops: Vec::new(),
+            }));
         }
 
         trace.explored = ctx.explored;
@@ -467,7 +762,29 @@ impl<'a> AcesoSearch<'a> {
             }
         }
         drop(ctx);
-        Some((tops, trace, rec))
+        Some(StageOutcome::Finished { tops, trace, rec })
+    }
+}
+
+/// Outcome of one stage-count slice.
+enum StageOutcome {
+    /// The sub-search ran to its natural end this slice (or had already
+    /// finished in a previous one).
+    Finished {
+        tops: Vec<ScoredConfig>,
+        trace: SearchTrace,
+        rec: Recorder,
+    },
+    /// The sub-search hit the pause bound.
+    Paused(StageCheckpoint),
+}
+
+impl StageOutcome {
+    fn stage_count(&self) -> usize {
+        match self {
+            StageOutcome::Finished { trace, .. } => trace.stage_count,
+            StageOutcome::Paused(sc) => sc.stage_count,
+        }
     }
 }
 

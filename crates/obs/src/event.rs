@@ -7,7 +7,7 @@
 //! The field-by-field contract lives in `docs/OBSERVABILITY.md` and is
 //! enforced against [`crate::schema`] by tests.
 
-use aceso_util::json::Value;
+use aceso_util::json::{JsonError, Value};
 
 /// One structured observability event.
 ///
@@ -149,6 +149,27 @@ pub enum Event {
         /// Fingerprint of the overall best configuration.
         best_fingerprint: u64,
     },
+    /// A search was resumed from a durable checkpoint (server-level
+    /// only: resume is transparent to the request's own event stream,
+    /// which stays bit-identical to an uninterrupted run's).
+    SearchResumed {
+        /// Request id the checkpoint was spooled under (empty for CLI
+        /// `--resume` runs).
+        request_id: String,
+        /// Algorithm-1 iterations already completed in the checkpoint —
+        /// the work the resume saved.
+        iterations_done: usize,
+    },
+    /// A checkpoint could not be used (unknown schema version, truncated
+    /// or corrupt JSON, fingerprint mismatch) and the search restarted
+    /// fresh instead of erroring (server-level only, like
+    /// [`Event::SearchResumed`]).
+    SearchRestarted {
+        /// Request id the unusable checkpoint was spooled under.
+        request_id: String,
+        /// Why the checkpoint was rejected.
+        reason: String,
+    },
     /// The discrete-event simulator executed one configuration.
     SimRun {
         /// Pipeline stages of the executed configuration.
@@ -182,6 +203,8 @@ impl Event {
             Event::Backtrack { .. } => "backtrack",
             Event::StageEnd { .. } => "stage_end",
             Event::SearchEnd { .. } => "search_end",
+            Event::SearchResumed { .. } => "search_resumed",
+            Event::SearchRestarted { .. } => "search_restarted",
             Event::SimRun { .. } => "sim_run",
         }
     }
@@ -325,6 +348,17 @@ impl Event {
                 put("best_score", Value::Float(*best_score));
                 put("best_fingerprint", Value::UInt(*best_fingerprint));
             }
+            Event::SearchResumed {
+                request_id,
+                iterations_done,
+            } => {
+                put("request_id", Value::Str(request_id.clone()));
+                put("iterations_done", Value::UInt(*iterations_done as u64));
+            }
+            Event::SearchRestarted { request_id, reason } => {
+                put("request_id", Value::Str(request_id.clone()));
+                put("reason", Value::Str(reason.clone()));
+            }
             Event::SimRun {
                 stages,
                 microbatches,
@@ -344,6 +378,130 @@ impl Event {
             }
         }
         Value::Object(fields)
+    }
+
+    /// Restores an event from [`Event::to_json_value`] output (a
+    /// checkpointed event stream).
+    ///
+    /// `intern` resolves the string-vocabulary fields (`resource`,
+    /// `primitive`, `schedule`) back to the `&'static str` names the
+    /// emitting code uses; an unresolvable string — like an unknown
+    /// `kind` — is a shape error, which checkpoint loaders treat as an
+    /// incompatible checkpoint rather than a panic.
+    pub fn from_json_value(
+        v: &Value,
+        intern: &dyn Fn(&str) -> Option<&'static str>,
+    ) -> Result<Event, JsonError> {
+        let kind = v.field("kind")?.as_str()?;
+        let interned = |key: &str| -> Result<&'static str, JsonError> {
+            let s = v.field(key)?.as_str()?;
+            intern(s).ok_or_else(|| JsonError::shape(format!("unknown {key} `{s}`")))
+        };
+        match kind {
+            "search_start" => Ok(Event::SearchStart {
+                stage_counts: v
+                    .field("stage_counts")?
+                    .as_array()?
+                    .iter()
+                    .map(Value::as_usize)
+                    .collect::<Result<_, _>>()?,
+                max_hops: v.field("max_hops")?.as_usize()?,
+                max_iterations: v.field("max_iterations")?.as_usize()?,
+                top_k: v.field("top_k")?.as_usize()?,
+                seed: v.field("seed")?.as_u64()?,
+                heuristic2: v.field("heuristic2")?.as_bool()?,
+            }),
+            "stage_start" => Ok(Event::StageStart {
+                stage_count: v.field("stage_count")?.as_usize()?,
+                init_fingerprint: v.field("init_fingerprint")?.as_u64()?,
+                init_score: v.field("init_score")?.as_f64()?,
+            }),
+            "bottleneck" => Ok(Event::Bottleneck {
+                stage_count: v.field("stage_count")?.as_usize()?,
+                iteration: v.field("iteration")?.as_usize()?,
+                stage: v.field("stage")?.as_usize()?,
+                resource: interned("resource")?,
+            }),
+            "candidate_accepted" | "candidate_rejected" => {
+                let stage_count = v.field("stage_count")?.as_usize()?;
+                let fingerprint = v.field("fingerprint")?.as_u64()?;
+                let score = v.field("score")?.as_f64()?;
+                let bottleneck_stage = v.field("bottleneck_stage")?.as_usize()?;
+                let primitive = interned("primitive")?;
+                let primitives_applied = v.field("primitives_applied")?.as_usize()?;
+                let hop_depth = v.field("hop_depth")?.as_usize()?;
+                Ok(if kind == "candidate_accepted" {
+                    Event::CandidateAccepted {
+                        stage_count,
+                        fingerprint,
+                        score,
+                        bottleneck_stage,
+                        primitive,
+                        primitives_applied,
+                        hop_depth,
+                    }
+                } else {
+                    Event::CandidateRejected {
+                        stage_count,
+                        fingerprint,
+                        score,
+                        bottleneck_stage,
+                        primitive,
+                        primitives_applied,
+                        hop_depth,
+                    }
+                })
+            }
+            "iteration" => Ok(Event::Iteration {
+                stage_count: v.field("stage_count")?.as_usize()?,
+                iteration: v.field("iteration")?.as_usize()?,
+                bottlenecks_tried: v.field("bottlenecks_tried")?.as_usize()?,
+                hops_used: v.field("hops_used")?.as_usize()?,
+                improved: v.field("improved")?.as_bool()?,
+            }),
+            "finetune" => Ok(Event::Finetune {
+                stage_count: v.field("stage_count")?.as_usize()?,
+                evaluations: v.field("evaluations")?.as_usize()?,
+                fingerprint: v.field("fingerprint")?.as_u64()?,
+                adopted: v.field("adopted")?.as_bool()?,
+            }),
+            "backtrack" => Ok(Event::Backtrack {
+                stage_count: v.field("stage_count")?.as_usize()?,
+                fingerprint: v.field("fingerprint")?.as_u64()?,
+                score: v.field("score")?.as_f64()?,
+            }),
+            "stage_end" => Ok(Event::StageEnd {
+                stage_count: v.field("stage_count")?.as_usize()?,
+                iterations: v.field("iterations")?.as_usize()?,
+                explored: v.field("explored")?.as_usize()?,
+                best_score: v.field("best_score")?.as_f64()?,
+                best_fingerprint: v.field("best_fingerprint")?.as_u64()?,
+            }),
+            "search_end" => Ok(Event::SearchEnd {
+                explored: v.field("explored")?.as_usize()?,
+                stage_counts_searched: v.field("stage_counts_searched")?.as_usize()?,
+                best_score: v.field("best_score")?.as_f64()?,
+                best_fingerprint: v.field("best_fingerprint")?.as_u64()?,
+            }),
+            "search_resumed" => Ok(Event::SearchResumed {
+                request_id: v.field("request_id")?.as_str()?.to_string(),
+                iterations_done: v.field("iterations_done")?.as_usize()?,
+            }),
+            "search_restarted" => Ok(Event::SearchRestarted {
+                request_id: v.field("request_id")?.as_str()?.to_string(),
+                reason: v.field("reason")?.as_str()?.to_string(),
+            }),
+            "sim_run" => Ok(Event::SimRun {
+                stages: v.field("stages")?.as_usize()?,
+                microbatches: v.field("microbatches")?.as_usize()?,
+                tasks: v.field("tasks")?.as_usize()?,
+                iteration_time: v.field("iteration_time")?.as_f64()?,
+                peak_memory: v.field("peak_memory")?.as_u64()?,
+                schedule: interned("schedule")?,
+                oom: v.field("oom")?.as_bool()?,
+            }),
+            other => Err(JsonError::shape(format!("unknown event kind `{other}`"))),
+        }
     }
 
     /// One representative instance of every variant, in stream order —
@@ -419,6 +577,14 @@ impl Event {
                 best_score: 0.9,
                 best_fingerprint: 2,
             },
+            Event::SearchResumed {
+                request_id: "req-1".to_string(),
+                iterations_done: 12,
+            },
+            Event::SearchRestarted {
+                request_id: "req-1".to_string(),
+                reason: "unknown schema version".to_string(),
+            },
             Event::SimRun {
                 stages: 2,
                 microbatches: 8,
@@ -449,6 +615,32 @@ mod tests {
             let text = v.to_string_compact();
             assert_eq!(Value::parse(&text).expect("parses"), v);
         }
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        // The sample vocabulary: the same names core emits.
+        let vocab = ["compute", "inc-dp", "inc-tp", "1f1b"];
+        let intern = move |s: &str| vocab.iter().find(|&&w| w == s).copied();
+        for e in Event::samples() {
+            let back = Event::from_json_value(&e.to_json_value(), &intern)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.kind()));
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_kind_and_vocabulary() {
+        let v = Value::parse("{\"kind\": \"mystery\"}").unwrap();
+        assert!(Event::from_json_value(&v, &|_| None).is_err());
+        let e = Event::Bottleneck {
+            stage_count: 2,
+            iteration: 0,
+            stage: 0,
+            resource: "compute",
+        };
+        // An interner that recognises nothing → shape error, not panic.
+        assert!(Event::from_json_value(&e.to_json_value(), &|_| None).is_err());
     }
 
     #[test]

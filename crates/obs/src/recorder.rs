@@ -42,6 +42,18 @@ impl Recorder {
         Self::new(false)
     }
 
+    /// An enabled recorder pre-loaded with previously recorded state —
+    /// the splice point of a checkpoint resume: the restored sub-search
+    /// appends to the saved events and accumulates onto the saved
+    /// metrics, so the merged output equals an uninterrupted run's.
+    pub fn from_parts(events: Vec<Event>, metrics: Metrics) -> Self {
+        Self {
+            enabled: true,
+            events: RefCell::new(events),
+            metrics: RefCell::new(metrics),
+        }
+    }
+
     /// Whether this recorder is recording.
     #[inline]
     pub fn enabled(&self) -> bool {

@@ -20,7 +20,12 @@
 /// v3: the serve-daemon counters `profile_cache_hits` /
 /// `profile_cache_misses` / `serve_requests` / `serve_rejected` were
 /// added (they stay zero in library-only runs).
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the crash-recovery counters `checkpoints_written` /
+/// `search_resumed` / `client_retries` and the server-level events
+/// `search_resumed` / `search_restarted` were added (all stay zero in
+/// runs that never touch a checkpoint).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +166,19 @@ pub const EVENTS: &[EventSpec] = &[
         ],
     },
     EventSpec {
+        kind: "search_resumed",
+        doc: "a search was resumed from a durable checkpoint (server-level only)",
+        fields: &[
+            f("request_id", "string", "-"),
+            f("iterations_done", "uint", "iterations"),
+        ],
+    },
+    EventSpec {
+        kind: "search_restarted",
+        doc: "an unusable checkpoint was discarded and the search restarted fresh (server-level only)",
+        fields: &[f("request_id", "string", "-"), f("reason", "string", "-")],
+    },
+    EventSpec {
         kind: "sim_run",
         doc: "the discrete-event simulator executed one configuration",
         fields: &[
@@ -225,6 +243,18 @@ pub const COUNTERS: &[(&str, &str)] = &[
     (
         "serve_rejected",
         "requests rejected by the serve daemon (backpressure, budget, validation)",
+    ),
+    (
+        "checkpoints_written",
+        "search checkpoints written to durable storage",
+    ),
+    (
+        "search_resumed",
+        "searches resumed from a previously written checkpoint",
+    ),
+    (
+        "client_retries",
+        "resubmissions of an already-spooled request id (client retries)",
     ),
 ];
 

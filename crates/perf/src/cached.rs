@@ -71,7 +71,7 @@ impl Evaluator for PerfModel<'_> {
 
 /// Memoization key of one stage's breakdown-plus-boundaries (see the
 /// module docs for why exactly these fields).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct StageKey {
     /// FNV over op range, device count and run-length-encoded op settings.
     content: u64,
@@ -83,6 +83,26 @@ struct StageKey {
     prev_last_dp: u32,
     /// Whether a successor stage exists.
     has_next: bool,
+}
+
+/// One exported memo-table entry: the internal stage-key fields
+/// (flattened, so callers never depend on the private key type) plus the
+/// estimate. Field meanings match the cache-key description in the
+/// module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoEntry {
+    /// FNV over op range, device count and run-length-encoded op settings.
+    pub content: u64,
+    /// Global microbatch size.
+    pub microbatch: usize,
+    /// First global device id of the stage.
+    pub dev_start: usize,
+    /// Trailing op's `dp` of the predecessor stage; `0` = first stage.
+    pub prev_last_dp: u32,
+    /// Whether a successor stage exists.
+    pub has_next: bool,
+    /// The memoized per-stage estimate.
+    pub estimate: StageEstimate,
 }
 
 fn stage_key(config: &ParallelConfig, i: usize, dev_start: usize) -> StageKey {
@@ -152,6 +172,47 @@ impl<'a> CachedEvaluator<'a> {
     /// Drops every memoized estimate.
     pub fn clear(&self) {
         self.memo.borrow_mut().clear();
+    }
+
+    /// Exports the memo table as [`MemoEntry`] values in a deterministic
+    /// (key-sorted) order, for checkpointing. Restoring the export with
+    /// [`CachedEvaluator::import_memo`] reproduces the table exactly, so a
+    /// resumed search sees the same hit/miss sequence — and therefore the
+    /// same counter splits — as an uninterrupted one.
+    pub fn export_memo(&self) -> Vec<MemoEntry> {
+        let memo = self.memo.borrow();
+        let mut entries: Vec<(StageKey, StageEstimate)> =
+            memo.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+            .into_iter()
+            .map(|(k, estimate)| MemoEntry {
+                content: k.content,
+                microbatch: k.microbatch,
+                dev_start: k.dev_start,
+                prev_last_dp: k.prev_last_dp,
+                has_next: k.has_next,
+                estimate,
+            })
+            .collect()
+    }
+
+    /// Replaces the memo table with previously exported entries.
+    pub fn import_memo(&self, entries: Vec<MemoEntry>) {
+        let mut memo = self.memo.borrow_mut();
+        memo.clear();
+        for e in entries {
+            memo.insert(
+                StageKey {
+                    content: e.content,
+                    microbatch: e.microbatch,
+                    dev_start: e.dev_start,
+                    prev_last_dp: e.prev_last_dp,
+                    has_next: e.has_next,
+                },
+                e.estimate,
+            );
+        }
     }
 
     /// The evaluation body; returns the estimate and whether at least one
@@ -326,6 +387,27 @@ mod tests {
         assert!(ev.memo_len() > 0);
         ev.clear();
         assert_eq!(ev.memo_len(), 0);
+    }
+
+    #[test]
+    fn memo_export_import_round_trips() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let ev = CachedEvaluator::new(PerfModel::new(&m, &c, &db));
+        ev.evaluate_unchecked(&balanced_init(&m, &c, 2).expect("init"));
+        ev.evaluate_unchecked(&balanced_init(&m, &c, 4).expect("init"));
+        let exported = ev.export_memo();
+        assert_eq!(exported.len(), ev.memo_len());
+        // Deterministic order: exporting twice yields identical sequences.
+        assert_eq!(exported, ev.export_memo());
+        let other = CachedEvaluator::new(PerfModel::new(&m, &c, &db));
+        other.import_memo(exported.clone());
+        assert_eq!(other.memo_len(), exported.len());
+        assert_eq!(other.export_memo(), exported);
+        // Imported entries actually serve lookups: re-evaluating a seen
+        // configuration adds no new entries.
+        other.evaluate_unchecked(&balanced_init(&m, &c, 2).expect("init"));
+        assert_eq!(other.memo_len(), exported.len());
     }
 
     #[test]

@@ -28,37 +28,15 @@
 use aceso_cluster::ClusterSpec;
 use aceso_model::ModelGraph;
 use aceso_profile::ProfileDb;
-use aceso_util::json::ToJson;
-use aceso_util::FnvHasher;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-/// Stable fingerprint of a model's profile-relevant content: the
-/// multiset of operator signatures (order-sensitively hashed — op order
-/// is part of the model), precision, and global batch.
-pub fn model_fingerprint(model: &ModelGraph) -> u64 {
-    let mut h = FnvHasher::new();
-    for op in &model.ops {
-        h.write_u64(ProfileDb::op_signature(op));
-    }
-    h.write_bytes(
-        model
-            .precision
-            .to_json_value()
-            .to_string_compact()
-            .as_bytes(),
-    );
-    h.write_usize(model.global_batch);
-    h.finish()
-}
-
-/// Stable fingerprint of a cluster topology (its canonical JSON form).
-pub fn cluster_fingerprint(cluster: &ClusterSpec) -> u64 {
-    let mut h = FnvHasher::new();
-    h.write_bytes(cluster.to_json_value().to_string_compact().as_bytes());
-    h.finish()
-}
+// The cache keys on the same fingerprints that bind search checkpoints
+// to their inputs; both live in `aceso_core::checkpoint` so a daemon's
+// spooled checkpoint and its profile-cache entry can never disagree on
+// what "the same model" means.
+pub use aceso_core::checkpoint::{cluster_fingerprint, model_fingerprint};
 
 /// One resident cache entry.
 struct Entry {

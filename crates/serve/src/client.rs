@@ -12,7 +12,9 @@
 use crate::proto::Request;
 use crate::wire::{read_frame, write_frame, WireError};
 use aceso_util::json::{obj, ToJson, Value};
+use aceso_util::SplitMix64;
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Why a submission failed.
 #[derive(Debug)]
@@ -164,6 +166,60 @@ pub fn submit(addr: &str, req: &Request) -> Result<Response, ClientError> {
                     "unexpected frame type {other:?} while awaiting a result"
                 )))
             }
+        }
+    }
+}
+
+/// Whether a failed submission is worth retrying: transport failures
+/// (connection refused, reset, or dropped mid-response — the daemon may
+/// be restarting) and the server's transient rejections (`rejected-busy`
+/// backpressure, a `timeout` idle cut). Typed rejections of the request
+/// itself (`bad-request`, `unknown-model`, …) will fail identically on
+/// every attempt, so they are surfaced immediately.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Wire(_) => true,
+        ClientError::Server { code, .. } => matches!(code.as_str(), "rejected-busy" | "timeout"),
+        ClientError::Protocol(_) => false,
+    }
+}
+
+/// First retry delay; doubles per attempt up to [`RETRY_DELAY_CAP`].
+const RETRY_DELAY_BASE: Duration = Duration::from_millis(50);
+/// Ceiling on the exponential backoff delay.
+const RETRY_DELAY_CAP: Duration = Duration::from_secs(2);
+
+/// [`submit`] with bounded exponential backoff: up to `retries` extra
+/// attempts after the first, retrying transport errors and transient
+/// server rejections (wire errors, `rejected-busy`, `timeout`). Each
+/// delay doubles from 50 ms
+/// (capped at 2 s) plus up to 50 % jitter drawn from a [`SplitMix64`]
+/// seeded by the request's own search seed — deterministic for a given
+/// request, so a stampede of distinct clients still decorrelates while
+/// tests stay reproducible.
+///
+/// Combined with a `request_id` and a `--spool-dir` daemon this is the
+/// crash-recovery loop: a retry after a dropped connection or daemon
+/// restart resumes the search from the last spooled checkpoint and
+/// returns the same bit-identical response the first attempt would have.
+pub fn submit_with_retries(
+    addr: &str,
+    req: &Request,
+    retries: usize,
+) -> Result<Response, ClientError> {
+    let mut rng = SplitMix64::new(req.seed ^ 0x5EED_BACC_0FF5);
+    let mut delay = RETRY_DELAY_BASE;
+    let mut attempt = 0usize;
+    loop {
+        match submit(addr, req) {
+            Ok(resp) => return Ok(resp),
+            Err(e) if attempt < retries && retryable(&e) => {
+                attempt += 1;
+                let jitter_ms = rng.next_u64() % (delay.as_millis() as u64 / 2 + 1);
+                std::thread::sleep(delay + Duration::from_millis(jitter_ms));
+                delay = (delay * 2).min(RETRY_DELAY_CAP);
+            }
+            Err(e) => return Err(e),
         }
     }
 }

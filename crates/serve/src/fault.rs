@@ -1,0 +1,148 @@
+//! Fault-injection proxy for crash-safety tests.
+//!
+//! [`FaultProxy`] sits between a serve client and the daemon and cuts
+//! the connection at a chosen **frame boundary**: it forwards the
+//! client→server byte stream verbatim, parses the server→client stream
+//! with the real wire framing (4-byte big-endian length prefixes), and
+//! after forwarding the configured number of frames severs both
+//! directions at once. The client observes exactly what a daemon crash
+//! or network partition mid-response looks like — a clean cut between
+//! frames, never a torn one — which is the scenario the checkpoint
+//! spool and [`crate::client::submit_with_retries`] exist to survive
+//! (`tests/serve.rs` drives the full kill → retry → resume →
+//! bit-identical-result loop through this proxy).
+//!
+//! The proxy is deliberately minimal test infrastructure: one
+//! connection at a time, threads detach, and the listener lives until
+//! the process exits. It is compiled into the library (not
+//! `#[cfg(test)]`) so integration tests and external harnesses can use
+//! it, but nothing in the serve path depends on it.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+
+/// A TCP proxy that severs the connection after forwarding a fixed
+/// number of server→client frames.
+pub struct FaultProxy {
+    addr: SocketAddr,
+}
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral local port, forwarding every
+    /// accepted connection to `upstream` and cutting it after
+    /// `cut_after_frames` server→client frames have been relayed.
+    /// `cut_after_frames` of 0 severs before the first response frame —
+    /// the request may still have been delivered and run to completion
+    /// server-side, exactly like a crash right after submission.
+    pub fn start(upstream: &str, cut_after_frames: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let upstream = upstream.to_string();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(client) = conn else { continue };
+                let Ok(server) = TcpStream::connect(&upstream) else {
+                    // Upstream gone (daemon killed): drop the client
+                    // immediately, which reads as connection-refused-ish.
+                    continue;
+                };
+                let _ = pump(client, server, cut_after_frames);
+            }
+        });
+        Ok(Self { addr })
+    }
+
+    /// The proxy's listen address — point the client here.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+/// Relays one connection pair until the frame budget is exhausted, then
+/// severs both sockets in both directions.
+fn pump(client: TcpStream, server: TcpStream, cut_after_frames: usize) -> std::io::Result<()> {
+    // Client → server: a verbatim byte pump on its own thread; it dies
+    // when either socket is shut down below.
+    let mut c2s_read = client.try_clone()?;
+    let mut c2s_write = server.try_clone()?;
+    std::thread::spawn(move || {
+        let _ = std::io::copy(&mut c2s_read, &mut c2s_write);
+        let _ = c2s_write.shutdown(Shutdown::Write);
+    });
+
+    // Server → client: frame-aware so the cut lands exactly on a frame
+    // boundary.
+    let mut from_server = server.try_clone()?;
+    let mut to_client = client.try_clone()?;
+    let mut forwarded = 0usize;
+    while forwarded < cut_after_frames {
+        let mut prefix = [0u8; 4];
+        if from_server.read_exact(&mut prefix).is_err() {
+            break; // upstream closed first — nothing left to cut
+        }
+        let len = u32::from_be_bytes(prefix) as usize;
+        let mut payload = vec![0u8; len];
+        from_server.read_exact(&mut payload)?;
+        to_client.write_all(&prefix)?;
+        to_client.write_all(&payload)?;
+        to_client.flush()?;
+        forwarded += 1;
+    }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{read_frame, write_frame, WireError};
+    use aceso_util::json::Value;
+
+    /// An echo "daemon" that reads frames and answers each with three
+    /// reply frames, so tests can count exactly where the cut lands.
+    fn echo_server(replies_per_frame: usize) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { continue };
+                while let Ok(v) = read_frame(&mut stream) {
+                    for _ in 0..replies_per_frame {
+                        if write_frame(&mut stream, &v).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn cuts_exactly_at_the_requested_frame_boundary() {
+        let upstream = echo_server(3);
+        let proxy = FaultProxy::start(&upstream, 2).expect("proxy starts");
+        let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
+        write_frame(&mut stream, &Value::UInt(7)).expect("request goes through");
+        // Exactly two of the three replies arrive intact…
+        for _ in 0..2 {
+            assert_eq!(read_frame(&mut stream).unwrap().as_u64().unwrap(), 7);
+        }
+        // …then the connection is severed at the boundary: a clean
+        // close, never a torn frame.
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(WireError::Closed | WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn zero_frame_budget_cuts_before_any_response() {
+        let upstream = echo_server(1);
+        let proxy = FaultProxy::start(&upstream, 0).expect("proxy starts");
+        let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
+        let _ = write_frame(&mut stream, &Value::UInt(1));
+        assert!(read_frame(&mut stream).is_err(), "no frame may arrive");
+    }
+}

@@ -13,9 +13,13 @@
 //! * [`cache`] — [`ProfileCache`], the cross-request LRU profile-db
 //!   cache keyed by (model fingerprint, cluster fingerprint);
 //! * [`server`] — [`Server`], the bounded-worker accept loop with
-//!   graceful drain;
+//!   graceful drain, per-connection i/o deadlines, and (with
+//!   `--spool-dir`) crash-recovery checkpoint spooling;
 //! * [`client`] — blocking [`submit`]/[`shutdown`]/[`server_stats`]
-//!   helpers and the collected [`Response`].
+//!   helpers, the collected [`Response`], and [`submit_with_retries`]
+//!   (bounded backoff with deterministic jitter);
+//! * [`fault`] — [`FaultProxy`], a frame-boundary fault-injection proxy
+//!   for crash-safety tests.
 //!
 //! The wire contract is specified in `docs/SERVER.md`. Served results
 //! are deterministic: for iteration-budget requests, the event stream
@@ -29,12 +33,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod proto;
 pub mod server;
 pub mod wire;
 
 pub use cache::{cluster_fingerprint, model_fingerprint, ProfileCache};
-pub use client::{server_stats, shutdown, submit, ClientError, Response};
+pub use client::{server_stats, shutdown, submit, submit_with_retries, ClientError, Response};
+pub use fault::FaultProxy;
 pub use proto::{error_frame, event_frame, status_frame, Request};
-pub use server::{ServeOptions, Server};
+pub use server::{spool_path, ServeOptions, Server};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};

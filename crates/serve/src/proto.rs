@@ -32,6 +32,14 @@ pub struct Request {
     pub seed: u64,
     /// Also return the per-rank execution plan in the result frame.
     pub plan: bool,
+    /// Optional idempotency key. When the server runs with `--spool-dir`,
+    /// searches submitted under a request id checkpoint their state to
+    /// disk periodically; resubmitting the *same* request under the same
+    /// id — after a dropped connection or a daemon crash — resumes from
+    /// the last spooled checkpoint instead of starting over, and the
+    /// response stays bit-identical to an uninterrupted run
+    /// (`docs/SERVER.md`). `None` disables spooling for this request.
+    pub request_id: Option<String>,
 }
 
 impl Default for Request {
@@ -46,6 +54,7 @@ impl Default for Request {
             budget_secs: None,
             seed: defaults.seed,
             plan: false,
+            request_id: None,
         }
     }
 }
@@ -86,6 +95,12 @@ impl ToJson for Request {
             ),
             ("seed", Value::UInt(self.seed)),
             ("plan", Value::Bool(self.plan)),
+            (
+                "request_id",
+                self.request_id
+                    .as_ref()
+                    .map_or(Value::Null, |id| Value::Str(id.clone())),
+            ),
         ])
     }
 }
@@ -100,6 +115,12 @@ impl FromJson for Request {
             None | Some(Value::Null) => None,
             Some(s) => Some(s.as_u64()?),
         };
+        // Absent and null are both "no id": pre-checkpoint clients never
+        // send the field at all.
+        let request_id = match v.get("request_id") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(s.as_str()?.to_string()),
+        };
         Ok(Self {
             model: v.field("model")?.as_str()?.to_string(),
             gpus: v.field("gpus")?.as_usize()?,
@@ -109,6 +130,7 @@ impl FromJson for Request {
             budget_secs,
             seed: v.field("seed")?.as_u64()?,
             plan: v.field("plan")?.as_bool()?,
+            request_id,
         })
     }
 }
@@ -117,7 +139,7 @@ impl FromJson for Request {
 /// documented in `docs/SERVER.md`: `bad-frame`, `oversize-frame`,
 /// `unknown-frame-type`, `bad-request`, `bad-protocol-version`,
 /// `unknown-model`, `budget-too-large`, `rejected-busy`,
-/// `shutting-down`, `search-failed`.
+/// `shutting-down`, `search-failed`, `timeout`.
 pub fn error_frame(code: &str, message: &str) -> Value {
     obj([
         ("type", Value::Str("error".into())),
@@ -165,6 +187,7 @@ mod tests {
             budget_secs: Some(30),
             seed: 7,
             plan: true,
+            request_id: Some("job-42".into()),
         };
         let back = Request::from_json_value(&req.to_json_value()).expect("parses");
         assert_eq!(back, req);
@@ -178,6 +201,21 @@ mod tests {
     }
 
     #[test]
+    fn requests_without_a_request_id_field_still_parse() {
+        // A frame from a pre-checkpoint client omits the field entirely.
+        let mut v = Request {
+            model: "deepnet-8l".into(),
+            ..Request::default()
+        }
+        .to_json_value();
+        if let Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "request_id");
+        }
+        let back = Request::from_json_value(&v).expect("parses without request_id");
+        assert_eq!(back.request_id, None);
+    }
+
+    #[test]
     fn search_options_mirror_request_knobs() {
         let req = Request {
             model: "gpt3-0.35b".into(),
@@ -188,6 +226,7 @@ mod tests {
             budget_secs: Some(5),
             seed: 9,
             plan: false,
+            request_id: None,
         };
         let o = req.search_options();
         assert_eq!(o.max_iterations, 12);

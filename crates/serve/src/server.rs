@@ -17,14 +17,17 @@ use crate::cache::ProfileCache;
 use crate::proto::{error_frame, event_frame, status_frame, Request};
 use crate::wire::{read_frame, write_frame, WireError, PROTOCOL_VERSION};
 use aceso_cluster::ClusterSpec;
-use aceso_core::AcesoSearch;
+use aceso_core::{AcesoSearch, ResumeError, SearchCheckpoint, SearchResult, SearchStep};
 use aceso_model::zoo;
-use aceso_obs::{Counter, ObsReport, Recorder};
+use aceso_obs::{Counter, Event, Metrics, ObsReport, Recorder};
 use aceso_runtime::ExecutionPlan;
+use aceso_util::fnv1a;
 use aceso_util::json::{obj, FromJson, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Daemon configuration knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +52,22 @@ pub struct ServeOptions {
     /// *before* the operator graph is built, so an absurd depth cannot
     /// make the server allocate.
     pub max_deepnet_layers: Option<usize>,
+    /// Read/write deadline on accepted connections. A peer that stalls
+    /// mid-frame (or connects and sends nothing) is cut loose with a
+    /// typed `timeout` error instead of pinning a connection thread
+    /// forever. `None` disables the deadlines. The deadline applies per
+    /// socket operation, so a long search between frames never trips it.
+    pub io_timeout: Option<Duration>,
+    /// Directory for crash-recovery checkpoint spools. When set,
+    /// searches submitted with a `request_id` write a [`SearchCheckpoint`]
+    /// here every [`ServeOptions::checkpoint_every`] iterations;
+    /// resubmitting the same id resumes from the last spooled state —
+    /// across dropped connections *and* daemon restarts. `None` (the
+    /// default) disables spooling entirely.
+    pub spool_dir: Option<PathBuf>,
+    /// Per-stage iteration interval between checkpoint spools; only
+    /// meaningful with [`ServeOptions::spool_dir`]. Clamped to ≥ 1.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ServeOptions {
@@ -60,6 +79,9 @@ impl Default for ServeOptions {
             max_gpus: Some(256),
             max_iterations: Some(10_000),
             max_deepnet_layers: Some(1024),
+            io_timeout: Some(Duration::from_secs(30)),
+            spool_dir: None,
+            checkpoint_every: 8,
         }
     }
 }
@@ -74,13 +96,24 @@ struct Shared {
     idle: Condvar,
     requests: AtomicU64,
     rejected: AtomicU64,
+    checkpoints_written: AtomicU64,
+    searches_resumed: AtomicU64,
+    client_retries: AtomicU64,
+    /// Server-level resume/restart events (`search_resumed`,
+    /// `search_restarted`). Like the serve counters they never enter a
+    /// request's own event stream — that stream must stay bit-identical
+    /// to an uninterrupted direct run — so they surface only through the
+    /// drain report.
+    server_events: Mutex<Vec<Event>>,
 }
 
 impl Shared {
-    /// Snapshot of the server-level counters as an [`ObsReport`] (the
-    /// serve quartet of `docs/OBSERVABILITY.md`, schema v3).
+    /// Snapshot of the server-level counters and resume/restart events
+    /// as an [`ObsReport`] (the serve counter group of
+    /// `docs/OBSERVABILITY.md`, schema v4).
     fn report(&self) -> ObsReport {
-        let rec = Recorder::new(true);
+        let events = self.server_events.lock().expect("event lock").clone();
+        let rec = Recorder::from_parts(events, Metrics::default());
         rec.add(Counter::ProfileCacheHits, self.cache.hits());
         rec.add(Counter::ProfileCacheMisses, self.cache.misses());
         rec.add(
@@ -91,6 +124,18 @@ impl Shared {
             Counter::ServeRejected,
             self.rejected.load(Ordering::Relaxed),
         );
+        rec.add(
+            Counter::CheckpointsWritten,
+            self.checkpoints_written.load(Ordering::Relaxed),
+        );
+        rec.add(
+            Counter::SearchResumed,
+            self.searches_resumed.load(Ordering::Relaxed),
+        );
+        rec.add(
+            Counter::ClientRetries,
+            self.client_retries.load(Ordering::Relaxed),
+        );
         let mut report = ObsReport::new();
         report.absorb(rec);
         report
@@ -99,6 +144,18 @@ impl Shared {
     fn reject(&self, stream: &mut TcpStream, code: &str, message: &str) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
         let _ = write_frame(stream, &error_frame(code, message));
+    }
+
+    /// Records that a spooled checkpoint could not be used and the
+    /// search restarted fresh — graceful degradation, never an error.
+    fn record_restart(&self, request_id: &str, reason: String) {
+        self.server_events
+            .lock()
+            .expect("event lock")
+            .push(Event::SearchRestarted {
+                request_id: request_id.to_string(),
+                reason,
+            });
     }
 }
 
@@ -133,6 +190,10 @@ impl Server {
             idle: Condvar::new(),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            searches_resumed: AtomicU64::new(0),
+            client_retries: AtomicU64::new(0),
+            server_events: Mutex::new(Vec::new()),
         });
         Ok(Self { listener, shared })
     }
@@ -164,8 +225,23 @@ impl Server {
     }
 }
 
+/// True when an i/o error is a socket deadline expiring. Both kinds
+/// appear in the wild: Unix reports `WouldBlock`, Windows `TimedOut`.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Serves one connection: a sequence of frames until the peer closes.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    if let Some(deadline) = shared.opts.io_timeout {
+        // Best-effort: a socket that cannot take a deadline still works,
+        // it just falls back to the pre-deadline behaviour.
+        let _ = stream.set_read_timeout(Some(deadline));
+        let _ = stream.set_write_timeout(Some(deadline));
+    }
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(v) => v,
@@ -185,6 +261,18 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 // the connection can continue after the typed error.
                 shared.reject(&mut stream, "bad-frame", &e);
                 continue;
+            }
+            Err(WireError::Io(e)) if is_timeout(&e) => {
+                // The peer stalled past --io-timeout (mid-frame or just
+                // idle). Tell it why, then drop the connection: a stalled
+                // read may have consumed part of a frame, so the stream
+                // is no longer trustworthy.
+                shared.reject(
+                    &mut stream,
+                    "timeout",
+                    "connection idled past the server's i/o deadline",
+                );
+                return;
             }
             Err(WireError::Io(_)) => return,
         };
@@ -334,14 +422,27 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
     let cache_tag = if hit { "hit" } else { "miss" };
     let _ = write_frame(stream, &status_frame("searching", Some(cache_tag)));
 
-    let (result, report) =
-        match AcesoSearch::new(&model, &cluster, &db, req.search_options()).run_observed(true) {
-            Ok(r) => r,
-            Err(e) => {
-                let _ = write_frame(stream, &error_frame("search-failed", &e.to_string()));
-                return;
-            }
-        };
+    let search = AcesoSearch::new(&model, &cluster, &db, req.search_options());
+    let spool = match (&shared.opts.spool_dir, &req.request_id) {
+        (Some(dir), Some(id)) if !id.is_empty() => Some(spool_path(dir, id)),
+        _ => None,
+    };
+    let searched = match &spool {
+        Some(path) => run_spooled(
+            shared,
+            &search,
+            path,
+            req.request_id.as_deref().unwrap_or(""),
+        ),
+        None => search.run_observed(true).map_err(|e| e.to_string()),
+    };
+    let (result, report) = match searched {
+        Ok(r) => r,
+        Err(msg) => {
+            let _ = write_frame(stream, &error_frame("search-failed", &msg));
+            return;
+        }
+    };
 
     // The event feed streams after the per-thread recorders merged —
     // that ordering is what makes it deterministic (docs/SERVER.md).
@@ -387,5 +488,145 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
         ("metrics", metrics),
         ("plan", plan.unwrap_or(Value::Null)),
     ]);
-    let _ = write_frame(stream, &final_frame);
+    // The spool outlives the request until the client has the result in
+    // hand: delete it only after the result frame actually went out, so
+    // a connection lost at the last moment still resumes on resubmit.
+    if write_frame(stream, &final_frame).is_ok() {
+        if let Some(path) = &spool {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Spool file for one request id: the id is sanitised for the
+/// filesystem, and a hash of the *original* id is appended so two ids
+/// that sanitise identically can never collide on one spool.
+pub fn spool_path(dir: &Path, request_id: &str) -> PathBuf {
+    let sanitised: String = request_id
+        .chars()
+        .take(64)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!(
+        "{sanitised}-{:016x}.ckpt",
+        fnv1a(request_id.as_bytes())
+    ))
+}
+
+/// Atomically replaces the spool file: write to a sibling temp path,
+/// then rename over the target. A crash between the two leaves either
+/// the previous complete checkpoint or the new one, never a torn file.
+fn write_spool(path: &Path, ckpt: &SearchCheckpoint) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, ckpt.to_json_string())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads and validates a spooled checkpoint. Returns `None` — fresh
+/// search — when no spool exists, and *also* when the spool is
+/// unreadable, corrupt, from an unknown schema version, or incompatible
+/// with this request (graceful degradation: a bad checkpoint costs the
+/// saved work, never the request). Any spool presence at all means this
+/// id was submitted before, i.e. the client is retrying.
+fn load_spool(
+    shared: &Shared,
+    search: &AcesoSearch<'_>,
+    path: &Path,
+    request_id: &str,
+) -> Option<SearchCheckpoint> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            shared.client_retries.fetch_add(1, Ordering::Relaxed);
+            shared.record_restart(request_id, format!("unreadable spool: {e}"));
+            return None;
+        }
+    };
+    shared.client_retries.fetch_add(1, Ordering::Relaxed);
+    let ckpt = match SearchCheckpoint::from_json_str(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.record_restart(request_id, e.to_string());
+            return None;
+        }
+    };
+    if let Err(e) = search.checkpoint_compatible(&ckpt, true) {
+        shared.record_restart(request_id, e.to_string());
+        return None;
+    }
+    shared.searches_resumed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .server_events
+        .lock()
+        .expect("event lock")
+        .push(Event::SearchResumed {
+            request_id: request_id.to_string(),
+            iterations_done: ckpt.iterations_done(),
+        });
+    Some(ckpt)
+}
+
+/// Runs one search in checkpointed slices, spooling a [`SearchCheckpoint`]
+/// to `path` at every pause and resuming any compatible spool that is
+/// already there. The result is bit-identical to an uninterrupted
+/// `run_observed` — that is the core contract `tests/checkpoint_resume.rs`
+/// enforces — so spooling is invisible to the response.
+fn run_spooled(
+    shared: &Shared,
+    search: &AcesoSearch<'_>,
+    path: &Path,
+    request_id: &str,
+) -> Result<(SearchResult, ObsReport), String> {
+    let every = shared.opts.checkpoint_every.max(1);
+    let mut bound;
+    let mut step = match load_spool(shared, search, path, request_id) {
+        Some(ckpt) => {
+            bound = ckpt.resume_bound() + every;
+            match search.resume_partial(true, &ckpt, Some(bound)) {
+                Ok(s) => s,
+                // `load_spool` already validated compatibility, so only
+                // genuine search errors can surface here.
+                Err(ResumeError::Incompatible(e)) => return Err(e.to_string()),
+                Err(ResumeError::Search(e)) => return Err(e.to_string()),
+            }
+        }
+        None => {
+            bound = every;
+            search.run_partial(true, bound).map_err(|e| e.to_string())?
+        }
+    };
+    loop {
+        match step {
+            SearchStep::Done(result, report) => return Ok((result, report)),
+            SearchStep::Paused(ckpt) => {
+                if write_spool(path, &ckpt).is_ok() {
+                    shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // The spool directory went bad (full disk, perms…).
+                    // Checkpointing is an availability feature, not a
+                    // correctness one: finish the search in one go.
+                    let (result, report) = match search.resume_from(true, &ckpt) {
+                        Ok(r) => r,
+                        Err(e) => return Err(e.to_string()),
+                    };
+                    return Ok((result, report));
+                }
+                bound += every;
+                step = match search.resume_partial(true, &ckpt, Some(bound)) {
+                    Ok(s) => s,
+                    Err(e) => return Err(e.to_string()),
+                };
+            }
+        }
+    }
 }

@@ -154,6 +154,79 @@ mod tests {
         }
     }
 
+    /// A reader that delivers its bytes across a seam: everything before
+    /// `seam` arrives first (possibly ending mid-prefix or mid-payload),
+    /// then the rest. Models a peer whose frame is torn across TCP
+    /// segments at an arbitrary byte boundary.
+    struct Torn<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+        seam: usize,
+    }
+
+    impl Read for Torn<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            // Never read across the seam in one call.
+            let limit = if self.pos < self.seam {
+                self.seam
+            } else {
+                self.bytes.len()
+            };
+            let n = buf.len().min(limit - self.pos);
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// Tearing a frame at *every* byte boundary — inside the length
+    /// prefix, inside the payload, between frames — must never confuse
+    /// the reader: both frames always arrive intact and identical.
+    #[test]
+    fn frames_torn_at_every_byte_boundary_still_parse() {
+        let first = obj([
+            ("type", Value::Str("status".into())),
+            ("phase", Value::Str("searching".into())),
+        ]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &first).expect("writes");
+        write_frame(&mut buf, &Value::UInt(99)).expect("writes");
+        for seam in 0..=buf.len() {
+            let mut r = Torn {
+                bytes: &buf,
+                pos: 0,
+                seam,
+            };
+            let a = read_frame(&mut r).unwrap_or_else(|e| panic!("seam {seam}: {e}"));
+            assert_eq!(a.to_string_compact(), first.to_string_compact());
+            let b = read_frame(&mut r).unwrap_or_else(|e| panic!("seam {seam}: {e}"));
+            assert_eq!(b.as_u64().unwrap(), 99);
+            assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+        }
+    }
+
+    /// A stream truncated at *every* prefix length is an error — closed
+    /// or i/o, depending on where the cut lands — and never a panic or a
+    /// bogus frame.
+    #[test]
+    fn truncation_at_every_byte_boundary_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &obj([
+                ("type", Value::Str("request".into())),
+                ("n", Value::UInt(5)),
+            ]),
+        )
+        .expect("writes");
+        for cut in 0..buf.len() {
+            assert!(
+                read_frame(&mut &buf[..cut]).is_err(),
+                "a frame cut at byte {cut} must not parse"
+            );
+        }
+    }
+
     #[test]
     fn garbage_payload_is_bad_json() {
         let mut buf = Vec::new();

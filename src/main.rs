@@ -12,9 +12,10 @@
 //! obs-diff` compares two metric snapshots.
 
 use aceso::model::zoo;
-use aceso::obs::Recorder;
+use aceso::obs::{ObsReport, Recorder};
 use aceso::prelude::*;
 use aceso::runtime::ExecutionPlan;
+use aceso::search::{SearchCheckpoint, SearchResult, SearchStep};
 use aceso::serve::{self, Request, ServeOptions, Server};
 use aceso::util::json::Value;
 use aceso_audit::AuditOptions;
@@ -31,19 +32,25 @@ struct Args {
     metrics: bool,
     metrics_out: Option<String>,
     events_out: Option<String>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    checkpoint_every: usize,
 }
 
 const USAGE: &str = "\
 usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
              [--zero] [--plan-out FILE] [--metrics-out FILE]
-             [--events-out FILE] [--no-metrics]
+             [--events-out FILE] [--no-metrics] [--checkpoint FILE]
+             [--resume FILE] [--checkpoint-every I]
        aceso audit [--smoke] [--json FILE] [--epsilon E]
        aceso serve [--addr HOST:PORT] [--workers N] [--cache-mb M]
              [--max-budget-secs S] [--max-gpus N] [--max-iterations I]
-             [--max-deepnet-layers L]
+             [--max-deepnet-layers L] [--io-timeout-secs S]
+             [--spool-dir DIR] [--checkpoint-every I]
        aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
              [--zero] [--iterations I] [--budget-secs S] [--seed K]
-             [--plan-out FILE] [--metrics-out FILE] [--events-out FILE]
+             [--request-id ID] [--retries N] [--plan-out FILE]
+             [--metrics-out FILE] [--events-out FILE]
              | --stats | --shutdown)
        aceso obs-diff A.json B.json
 
@@ -60,6 +67,11 @@ flags:
   --events-out FILE   write the structured event stream as JSONL
   --no-metrics      disable observability entirely (skips the summary
                     table; conflicts with --metrics-out/--events-out)
+  --checkpoint FILE   periodically write a resumable search checkpoint
+                      (atomic JSON snapshot; removed on completion)
+  --resume FILE       resume a search from a checkpoint; an unusable or
+                      incompatible checkpoint warns and searches fresh
+  --checkpoint-every I  iterations between checkpoints (default 32)
 
 audit: run the static invariant analyzers (primitive signatures,
 transform validity, perf-model consistency, search-trace replay) over
@@ -81,12 +93,22 @@ serve: run the search daemon (wire contract in docs/SERVER.md)
                     iteration budget (default 10000; 0 = unlimited)
   --max-deepnet-layers L  reject deeper deepnet-<N>l requests before the
                     graph is built (default 1024; 0 = unlimited)
+  --io-timeout-secs S  per-connection read/write deadline; stalled peers
+                    get a typed `timeout` error (default 30; 0 = none)
+  --spool-dir DIR   spool per-request-id search checkpoints here so a
+                    resubmitted request resumes after a crash or dropped
+                    connection (docs/SERVER.md; default: no spooling)
+  --checkpoint-every I  iterations between checkpoint spools (default 8)
 
 submit: send one search to a daemon and collect the streamed response
   --iterations I    per-stage-count iteration budget (default 48); the
                     deterministic budget — results are reproducible when
                     no --budget-secs is given
   --seed K          search RNG seed (default 0xACE50)
+  --request-id ID   idempotency key: lets a --spool-dir daemon resume
+                    this search if it is interrupted and resubmitted
+  --retries N       retry transient failures (busy, timeout, dropped
+                    connection) up to N times with jittered backoff
   --stats           print the daemon's server-level metric snapshot
   --shutdown        ask the daemon to drain in-flight work and exit
 
@@ -182,6 +204,19 @@ fn run_serve(mut it: impl Iterator<Item = String>) -> ! {
                     .map(|n| opts.max_deepnet_layers = (n > 0).then_some(n))
                     .map_err(|e| format!("--max-deepnet-layers: {e}"))
             }),
+            "--io-timeout-secs" => value("--io-timeout-secs").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|s| opts.io_timeout = (s > 0).then(|| Duration::from_secs(s)))
+                    .map_err(|e| format!("--io-timeout-secs: {e}"))
+            }),
+            "--spool-dir" => {
+                value("--spool-dir").map(|v| opts.spool_dir = Some(std::path::PathBuf::from(v)))
+            }
+            "--checkpoint-every" => value("--checkpoint-every").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|n| opts.checkpoint_every = n.max(1))
+                    .map_err(|e| format!("--checkpoint-every: {e}"))
+            }),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -215,6 +250,7 @@ fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
     let mut plan_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut events_out: Option<String> = None;
+    let mut retries = 0usize;
     let mut stats = false;
     let mut do_shutdown = false;
     while let Some(flag) = it.next() {
@@ -250,6 +286,12 @@ fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
                 v.parse()
                     .map(|s| req.seed = s)
                     .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--request-id" => value("--request-id").map(|v| req.request_id = Some(v)),
+            "--retries" => value("--retries").and_then(|v| {
+                v.parse()
+                    .map(|n| retries = n)
+                    .map_err(|e| format!("--retries: {e}"))
             }),
             "--plan-out" => value("--plan-out").map(|v| {
                 req.plan = true;
@@ -310,7 +352,7 @@ fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
     }
 
     eprintln!("submitting {} to {addr}...", req.model);
-    let resp = match serve::submit(&addr, &req) {
+    let resp = match serve::submit_with_retries(&addr, &req, retries) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -408,6 +450,9 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics: true,
         metrics_out: None,
         events_out: None,
+        checkpoint: None,
+        resume: None,
+        checkpoint_every: 32,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -435,6 +480,14 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--events-out" => args.events_out = Some(value("--events-out")?),
             "--no-metrics" => args.metrics = false,
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => args.resume = Some(value("--resume")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+                    .max(1)
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -450,6 +503,109 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
         );
     }
     Ok(args)
+}
+
+/// Atomically replaces `path` with the serialised checkpoint: write a
+/// sibling temp file, then rename over the target, so a kill mid-write
+/// leaves the previous complete snapshot instead of a torn file.
+fn write_checkpoint(path: &str, ckpt: &SearchCheckpoint) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, ckpt.to_json_string())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads `--resume FILE`, degrading gracefully: a missing, corrupt,
+/// foreign-schema, or incompatible checkpoint warns on stderr and the
+/// search starts fresh — resuming is an optimisation, never a gate.
+fn load_resume(search: &AcesoSearch<'_>, path: &str, metrics: bool) -> Option<SearchCheckpoint> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("warning: cannot read checkpoint {path}: {e}; searching from scratch");
+            return None;
+        }
+    };
+    let loaded = SearchCheckpoint::from_json_str(&text)
+        .and_then(|c| search.checkpoint_compatible(&c, metrics).map(|()| c));
+    match loaded {
+        Ok(ckpt) => {
+            eprintln!(
+                "resuming from {path}: {} iterations ({:.2} s of search) already done",
+                ckpt.iterations_done(),
+                ckpt.elapsed_secs()
+            );
+            Some(ckpt)
+        }
+        Err(e) => {
+            eprintln!("warning: checkpoint {path} is unusable ({e}); searching from scratch");
+            None
+        }
+    }
+}
+
+/// Runs the search honouring `--resume` / `--checkpoint`: resume state
+/// is loaded first (if any), and when `--checkpoint FILE` is given the
+/// search runs in slices of `--checkpoint-every` iterations, spooling an
+/// atomic snapshot at each pause. Checkpointing never changes the result
+/// — a resumed or sliced run is bit-identical to an uninterrupted one
+/// (`tests/checkpoint_resume.rs`).
+fn run_checkpointed(
+    search: &AcesoSearch<'_>,
+    args: &Args,
+) -> Result<(SearchResult, ObsReport), String> {
+    let resumed = args
+        .resume
+        .as_deref()
+        .and_then(|path| load_resume(search, path, args.metrics));
+    let Some(out_path) = args.checkpoint.as_deref() else {
+        // No spooling requested: run (or finish) in one go.
+        return match resumed {
+            Some(ckpt) => search
+                .resume_from(args.metrics, &ckpt)
+                .map_err(|e| e.to_string()),
+            None => search.run_observed(args.metrics).map_err(|e| e.to_string()),
+        };
+    };
+    let every = args.checkpoint_every;
+    let mut bound;
+    let mut step = match resumed {
+        Some(ckpt) => {
+            bound = ckpt.resume_bound() + every;
+            search
+                .resume_partial(args.metrics, &ckpt, Some(bound))
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            bound = every;
+            search
+                .run_partial(args.metrics, bound)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    let mut written = 0usize;
+    loop {
+        match step {
+            SearchStep::Done(result, report) => {
+                // The run completed; the spool has served its purpose.
+                let _ = std::fs::remove_file(out_path);
+                if written > 0 {
+                    eprintln!("wrote {written} checkpoints to {out_path} (removed on completion)");
+                }
+                return Ok((result, report));
+            }
+            SearchStep::Paused(ckpt) => {
+                if let Err(e) = write_checkpoint(out_path, &ckpt) {
+                    eprintln!("warning: cannot write checkpoint {out_path}: {e}");
+                } else {
+                    written += 1;
+                }
+                bound += every;
+                step = search
+                    .resume_partial(args.metrics, &ckpt, Some(bound))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+    }
 }
 
 fn main() {
@@ -512,14 +668,14 @@ fn main() {
     options.gen_options.enable_zero = args.zero;
 
     eprintln!("searching ({} s budget)...", args.budget_secs);
-    let (result, mut obs) =
-        match AcesoSearch::new(&model, &cluster, &db, options).run_observed(args.metrics) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
+    let search = AcesoSearch::new(&model, &cluster, &db, options);
+    let (result, mut obs) = match run_checkpointed(&search, &args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "explored {} configurations in {:.1?}; best found:",
         result.explored, result.wall_time

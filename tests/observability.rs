@@ -168,13 +168,21 @@ fn no_counter_is_silently_dead() {
         );
     }
 
-    // Scenario 4: a loopback serve session — the serve counter quartet
-    // (v3) lives in the daemon's server-level report, never in a
-    // request's own snapshot.
+    // Scenario 4: a loopback serve session with checkpoint spooling —
+    // the serve counters (v3 quartet plus the v4 crash-recovery trio)
+    // live in the daemon's server-level report, never in a request's own
+    // snapshot. A pre-seeded spool makes the spooled request a resume:
+    // `checkpoints_written`, `search_resumed`, and `client_retries` all
+    // move.
+    let spool = std::env::temp_dir().join(format!("aceso-obs-spool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    std::fs::create_dir_all(&spool).expect("spool dir");
     let server = Server::bind(
         "127.0.0.1:0",
         ServeOptions {
             workers: 1,
+            spool_dir: Some(spool.clone()),
+            checkpoint_every: 1,
             ..ServeOptions::default()
         },
     )
@@ -191,6 +199,32 @@ fn no_counter_is_silently_dead() {
     assert_eq!(first.cache, "miss");
     let second = aceso::serve::submit(&addr, &req).expect("second submit");
     assert_eq!(second.cache, "hit");
+    // Spool a mid-search checkpoint for a request id, exactly as a
+    // previous daemon with `--spool-dir` would have, then resubmit it.
+    let spooled_req = Request {
+        request_id: Some("obs-job".into()),
+        max_iterations: 8,
+        ..req.clone()
+    };
+    let serve_model = aceso::model::zoo::by_name(&spooled_req.model).unwrap();
+    let serve_cluster = ClusterSpec::v100_gpus(spooled_req.gpus);
+    let serve_db = ProfileDb::build(&serve_model, &serve_cluster);
+    let search = AcesoSearch::new(
+        &serve_model,
+        &serve_cluster,
+        &serve_db,
+        spooled_req.search_options(),
+    );
+    let aceso::search::SearchStep::Paused(ckpt) = search.run_partial(true, 2).expect("partial run")
+    else {
+        panic!("an 8-iteration search must pause at bound 2");
+    };
+    std::fs::write(
+        aceso::serve::spool_path(&spool, "obs-job"),
+        ckpt.to_json_string(),
+    )
+    .expect("seed spool");
+    aceso::serve::submit(&addr, &spooled_req).expect("spooled submit");
     let unknown = aceso::serve::submit(
         &addr,
         &Request {
@@ -201,6 +235,7 @@ fn no_counter_is_silently_dead() {
     assert!(unknown.is_err(), "unknown model must be rejected");
     aceso::serve::shutdown(&addr).expect("shutdown");
     let server_report = handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&spool);
 
     obs.absorb(rec);
     for c in Counter::ALL {

@@ -9,11 +9,22 @@
 
 use aceso::obs::Counter;
 use aceso::prelude::*;
-use aceso::serve::{self, ClientError, Request, Response, ServeOptions, Server};
-use aceso::serve::{read_frame, write_frame, WireError, MAX_FRAME_BYTES};
+use aceso::search::SearchStep;
+use aceso::serve::{self, ClientError, FaultProxy, Request, Response, ServeOptions, Server};
+use aceso::serve::{read_frame, spool_path, write_frame, WireError, MAX_FRAME_BYTES};
 use aceso::util::json::{obj, Value};
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A per-test scratch directory under the system temp dir.
+fn temp_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aceso-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp spool dir");
+    dir
+}
 
 /// Binds an ephemeral-port daemon and runs it on a background thread.
 fn start(opts: ServeOptions) -> (String, std::thread::JoinHandle<aceso::obs::ObsReport>) {
@@ -386,6 +397,190 @@ fn graceful_shutdown_drains_and_reports() {
             assert!(read_frame(&mut stream).is_err(), "daemon must be gone");
         }
     }
+}
+
+/// A connection that goes quiet trips the server's i/o deadline and is
+/// cut loose with a typed `timeout` error — whether it sent nothing at
+/// all or stalled mid-frame — and each counts as `serve_rejected`.
+#[test]
+fn idle_connections_time_out_with_a_typed_error() {
+    let (addr, handle) = start(ServeOptions {
+        io_timeout: Some(Duration::from_millis(200)),
+        ..ServeOptions::default()
+    });
+
+    // Connect and send nothing: the read deadline expires.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let reply = read_frame(&mut stream).expect("typed timeout frame");
+    assert_eq!(error_code(&reply), "timeout");
+    // A stalled read may have consumed part of a frame, so the server
+    // drops the connection rather than trust its framing.
+    assert!(read_frame(&mut stream).is_err());
+
+    // Stall mid-frame: half a length prefix, then silence.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(&[0, 0]).unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).expect("typed timeout frame");
+    assert_eq!(error_code(&reply), "timeout");
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRejected), 2);
+    assert_eq!(report.counter(Counter::ServeRequests), 0);
+}
+
+/// The full crash-recovery loop: a connection severed mid-response loses
+/// the client but not the work. The retry (bounded backoff riding out
+/// the still-occupied worker slot) resumes from the spooled checkpoint
+/// and gets a response bit-identical to a never-interrupted direct run.
+#[test]
+fn severed_connection_resumes_from_spool_on_retry() {
+    let spool = temp_spool("sever");
+    let (addr, handle) = start(ServeOptions {
+        workers: 1,
+        spool_dir: Some(spool.clone()),
+        checkpoint_every: 1,
+        ..ServeOptions::default()
+    });
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 21,
+        request_id: Some("sever-job".into()),
+        ..Request::default()
+    };
+
+    // First attempt through the fault proxy: the connection is severed
+    // right after the two status frames, long before the result — the
+    // wire view of a daemon crash or network partition.
+    let proxy = FaultProxy::start(&addr, 2).expect("proxy starts");
+    assert!(
+        serve::submit(&proxy.addr(), &req).is_err(),
+        "a severed submission must fail client-side"
+    );
+
+    // Retry directly at the daemon. The severed request still occupies
+    // the only worker slot until its search finishes, so the retry
+    // bounces on `rejected-busy` and backs off — exactly the loop
+    // `submit_with_retries` exists for.
+    let resp = serve::submit_with_retries(&addr, &req, 12).expect("retry succeeds");
+    assert_matches_direct(&resp, &req, "resumed after a severed connection");
+    // Success deletes the spool: the id is safe to reuse.
+    assert!(
+        !spool_path(&spool, "sever-job").exists(),
+        "spool must be removed once the client has the result"
+    );
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 2);
+    assert_eq!(report.counter(Counter::SearchResumed), 1);
+    assert_eq!(report.counter(Counter::ClientRetries), 1);
+    assert!(report.counter(Counter::CheckpointsWritten) >= 1);
+    assert!(
+        report.events_jsonl().contains("\"search_resumed\""),
+        "the drain report must carry the resume event"
+    );
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Spools survive the daemon itself: a checkpoint left by a previous
+/// process (here: written directly, exactly as `--spool-dir` would) is
+/// picked up by a freshly started daemon when the same request id is
+/// resubmitted, and the resumed response is bit-identical.
+#[test]
+fn daemon_restart_resumes_a_preseeded_spool() {
+    let spool = temp_spool("restart");
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 33,
+        request_id: Some("restart-job".into()),
+        ..Request::default()
+    };
+
+    // The previous daemon's life, in miniature: run the same search the
+    // server would and spool its first pause, then "crash".
+    let model = aceso::model::zoo::by_name(&req.model).unwrap();
+    let cluster = ClusterSpec::v100_gpus(req.gpus);
+    let db = ProfileDb::build(&model, &cluster);
+    let search = AcesoSearch::new(&model, &cluster, &db, req.search_options());
+    let SearchStep::Paused(ckpt) = search.run_partial(true, 2).expect("partial run") else {
+        panic!("an 8-iteration search must pause at bound 2");
+    };
+    std::fs::write(spool_path(&spool, "restart-job"), ckpt.to_json_string()).unwrap();
+
+    // The restarted daemon finds the spool on resubmit and resumes.
+    let (addr, handle) = start(ServeOptions {
+        spool_dir: Some(spool.clone()),
+        ..ServeOptions::default()
+    });
+    let resp = serve::submit(&addr, &req).expect("resubmit succeeds");
+    assert_matches_direct(&resp, &req, "resumed across a daemon restart");
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::SearchResumed), 1);
+    assert_eq!(report.counter(Counter::ClientRetries), 1);
+    assert!(report.events_jsonl().contains("\"search_resumed\""));
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// A bad spool costs the saved work, never the request: corrupt JSON and
+/// a future schema version both degrade to a fresh, still-bit-identical
+/// run, each recorded as a `search_restarted` event in the drain report.
+#[test]
+fn bad_spools_degrade_to_fresh_runs() {
+    let spool = temp_spool("bad");
+    std::fs::write(spool_path(&spool, "garbage-job"), "{not json").unwrap();
+    // A structurally valid checkpoint from a future schema version.
+    let model = aceso::model::zoo::by_name("deepnet-8l").unwrap();
+    let cluster = ClusterSpec::v100_gpus(2);
+    let db = ProfileDb::build(&model, &cluster);
+    let base = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 44,
+        ..Request::default()
+    };
+    let search = AcesoSearch::new(&model, &cluster, &db, base.search_options());
+    let SearchStep::Paused(ckpt) = search.run_partial(true, 2).expect("partial run") else {
+        panic!("must pause at bound 2");
+    };
+    let future =
+        ckpt.to_json_string()
+            .replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+    std::fs::write(spool_path(&spool, "future-job"), future).unwrap();
+
+    let (addr, handle) = start(ServeOptions {
+        spool_dir: Some(spool.clone()),
+        ..ServeOptions::default()
+    });
+    for id in ["garbage-job", "future-job"] {
+        let req = Request {
+            request_id: Some(id.into()),
+            ..base.clone()
+        };
+        let resp = serve::submit(&addr, &req)
+            .unwrap_or_else(|e| panic!("{id}: a bad spool must not fail the request: {e}"));
+        assert_matches_direct(&resp, &req, &format!("{id}: fresh run after bad spool"));
+    }
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::SearchResumed), 0);
+    assert_eq!(report.counter(Counter::ClientRetries), 2);
+    let events = report.events_jsonl();
+    assert_eq!(
+        events.matches("\"search_restarted\"").count(),
+        2,
+        "each bad spool must be recorded: {events}"
+    );
+    let _ = std::fs::remove_dir_all(&spool);
 }
 
 /// The submitted plan round-trips: a `plan: true` request returns the
