@@ -2,8 +2,11 @@
 # CI gate: formatting, lints (warnings are errors), rustdoc (warnings
 # are errors), the tier-1 build + test cycle in both invariant modes,
 # the full-corpus differential perf-equivalence sweep (incremental vs
-# from-scratch evaluation must stay bit-identical), an audit smoke run
-# that must come back with zero findings, an observability smoke run
+# from-scratch evaluation must stay bit-identical), the full
+# whole-system static verifier (plan-safety proofs, protocol
+# state-machine checking, lock-order analysis — zero findings, report
+# archived under results/) plus its mutation gates (each seeded bug
+# injection must be caught), an observability smoke run
 # whose artifacts must validate against the documented schema, a serve
 # daemon round-trip, a crash-recovery smoke (SIGKILL the daemon
 # mid-search, restart it, resubmit — the resumed event stream must be
@@ -36,8 +39,38 @@ cargo test -q --workspace --features aceso-core/debug-invariants
 echo "==> differential perf-equivalence sweep (full corpus)"
 cargo test -q --release --test perf_equivalence -- --include-ignored
 
-echo "==> audit smoke run"
-cargo run --release --quiet --bin aceso -- audit --smoke
+echo "==> audit: full whole-system verifier (report archived in results/)"
+cargo run --release --quiet --bin aceso -- audit --full \
+    --json results/audit-report.json --metrics-out results/audit-metrics.json
+
+echo "==> audit mutation gates: every seeded bug injection must be caught"
+for MUT in mem-bound reorder-frame swap-lock-pair; do
+    MUT_TMP=$(mktemp)
+    if cargo run --release --quiet --bin aceso -- audit --smoke \
+        --mutate "$MUT" --json "$MUT_TMP" >/dev/null 2>&1; then
+        echo "mutation $MUT was NOT caught"; rm -f "$MUT_TMP"; exit 1
+    fi
+    grep -q '"clean": false' "$MUT_TMP" || {
+        echo "mutation $MUT exited non-zero but reported no JSON finding"
+        rm -f "$MUT_TMP"; exit 1; }
+    rm -f "$MUT_TMP"
+    echo "    $MUT: caught"
+done
+
+echo "==> optional ThreadSanitizer stage (enable with ACESO_TSAN=1)"
+if [ "${ACESO_TSAN:-0}" = "1" ]; then
+    if rustup toolchain list 2>/dev/null | grep -q nightly &&
+        rustup component list --toolchain nightly 2>/dev/null |
+            grep -q 'rust-src (installed)'; then
+        TSAN_TARGET=$(rustc -vV | sed -n 's/^host: //p')
+        RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+            -Zbuild-std --target "$TSAN_TARGET" -p aceso-serve --lib
+    else
+        echo "    skipped: nightly toolchain with rust-src not installed"
+    fi
+else
+    echo "    skipped (set ACESO_TSAN=1 to run the serve suite under TSan)"
+fi
 
 echo "==> observability smoke run (schema-validated metrics + events)"
 OBS_TMP=$(mktemp -d)

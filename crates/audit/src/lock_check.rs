@@ -1,0 +1,179 @@
+//! Analyzer 7: lock-order deadlock analysis.
+//!
+//! The serve daemon's profile cache coalesces concurrent builds behind a
+//! mutex + condvar pair; a deadlock there would wedge every request. The
+//! in-tree locks are wrapped in `aceso_util::lockorder` shadow types that
+//! record, at runtime, the directed held-before graph of lock
+//! acquisitions. This analyzer turns the shadow layer on, drives the
+//! cache through the adversarial interleavings a real daemon sees —
+//! coalesced same-key builds, a drain racing a build, LRU eviction under
+//! a tiny budget — and then proves the recorded acquisition graph is
+//! acyclic. A cycle in the held-before graph is a potential deadlock:
+//! two threads can each hold one lock of the cycle and block on the
+//! next.
+//!
+//! Rules:
+//!
+//! * `LOCK-CYCLE` — the recorded acquisition graph contains a
+//!   held-before cycle (reported with the full lock path).
+//! * `LOCK-COVERAGE` — the scenarios failed to exercise an expected lock
+//!   class, so the acyclicity proof would be vacuous.
+//!
+//! The [`Mutation::SwapLockPair`] gate acquires a private pair of
+//! tracked mutexes in both orders (recorded into a private sink, so the
+//! process-global graph stays healthy) and proves the cycle detector
+//! fires.
+
+use crate::report::{AuditFinding, AuditReport, Severity};
+use crate::Mutation;
+use aceso_cluster::ClusterSpec;
+use aceso_model::zoo::gpt3_custom;
+use aceso_serve::ProfileCache;
+use aceso_util::lockorder::{self, LockGraph, TrackedMutex};
+use std::sync::{Arc, Barrier};
+
+/// Lock classes the scenarios must touch for the proof to be
+/// non-vacuous.
+const EXPECTED_CLASSES: &[&str] = &["profile-cache.state"];
+
+/// Drives the profile cache through deterministic adversarial
+/// interleavings while the shadow-lock layer records acquisitions.
+fn drive_cache_scenarios() {
+    let model_a = gpt3_custom("lock-a", 2, 256, 4, 128, 1024, 64);
+    let model_b = gpt3_custom("lock-b", 2, 256, 4, 128, 1024, 64);
+    let cluster = ClusterSpec::v100(1, 2);
+
+    // Scenario 1: three threads coalesce on one key; one builds, the
+    // others wait out the build on the condvar.
+    let cache = ProfileCache::new(u64::MAX);
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| cache.get_or_build(&model_a, &cluster));
+        }
+    });
+
+    // Scenario 2: a drain races a coalesced build. The builder parks
+    // inside its build closure; a waiter blocks on the condvar; the
+    // drain fires shutdown before the builder is released.
+    let cache = ProfileCache::new(u64::MAX);
+    let parked = Arc::new(Barrier::new(2));
+    let release = Arc::new(Barrier::new(2));
+    std::thread::scope(|s| {
+        let builder = {
+            let (parked, release) = (Arc::clone(&parked), Arc::clone(&release));
+            let (model_a, cluster) = (&model_a, &cluster);
+            let cache = &cache;
+            s.spawn(move || {
+                cache.get_or_build_with(model_a, cluster, |m, c| {
+                    parked.wait();
+                    release.wait();
+                    aceso_profile::ProfileDb::build(m, c)
+                })
+            })
+        };
+        parked.wait();
+        let waiter = s.spawn(|| cache.get_or_build(&model_a, &cluster));
+        while cache.waiting() == 0 && !waiter.is_finished() {
+            std::thread::yield_now();
+        }
+        cache.shutdown();
+        waiter.join().expect("waiter survives the drain");
+        release.wait();
+        builder.join().expect("builder completes");
+    });
+
+    // Scenario 3: eviction under a one-byte budget — every insert
+    // evicts the previous resident entry.
+    let cache = ProfileCache::new(1);
+    cache.get_or_build(&model_a, &cluster);
+    cache.get_or_build(&model_b, &cluster);
+    cache.get_or_build(&model_a, &cluster);
+}
+
+/// Runs the lock-order analyzer.
+///
+/// Corpus-independent: the lock graph describes the code, not a model.
+/// With [`Mutation::SwapLockPair`] a private mutex pair is acquired in
+/// both orders through a sink graph, seeding the cycle the detector
+/// must catch.
+pub fn audit_lock_order(mutation: Option<Mutation>, report: &mut AuditReport) {
+    // Left on for the rest of the process: concurrent analyzer runs in
+    // one test binary share the flag, and turning it back off under a
+    // sibling's feet would silently blind its coverage check.
+    lockorder::set_recording(true);
+    drive_cache_scenarios();
+
+    // Snapshot the process-global graph; mutations stay in a sink.
+    let graph = LockGraph::new();
+    graph.absorb(lockorder::global());
+
+    if mutation == Some(Mutation::SwapLockPair) {
+        let sink = Arc::new(LockGraph::new());
+        let a = TrackedMutex::with_sink("audit.swap-a", (), Arc::clone(&sink));
+        let b = TrackedMutex::with_sink("audit.swap-b", (), Arc::clone(&sink));
+        {
+            let _ga = a.lock().expect("a");
+            let _gb = b.lock().expect("b under a");
+        }
+        {
+            let _gb = b.lock().expect("b");
+            let _ga = a.lock().expect("a under b");
+        }
+        graph.absorb(&sink);
+    }
+
+    let mk = |rule: &'static str, message: String| AuditFinding {
+        rule,
+        severity: Severity::Error,
+        location: "lockorder/global".into(),
+        message,
+        fingerprint: graph.edges().len() as u64,
+    };
+
+    report.tick(1);
+    if let Some(cycle) = graph.cycle() {
+        report.push(mk(
+            "LOCK-CYCLE",
+            format!("held-before cycle: {}", cycle.join(" -> ")),
+        ));
+    }
+    let acquired = graph.acquisitions();
+    for class in EXPECTED_CLASSES {
+        report.tick(1);
+        let count = acquired
+            .iter()
+            .find(|(name, _)| name == class)
+            .map_or(0, |(_, n)| *n);
+        if count == 0 {
+            report.push(mk(
+                "LOCK-COVERAGE",
+                format!("scenarios never acquired `{class}` — the proof is vacuous"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_lock_graph_is_acyclic() {
+        let mut report = AuditReport::default();
+        audit_lock_order(None, &mut report);
+        assert!(report.checks_run >= 2);
+        assert!(report.clean(), "lock order violated:\n{}", report.render());
+    }
+
+    #[test]
+    fn swap_lock_pair_mutation_is_caught() {
+        let mut report = AuditReport::default();
+        audit_lock_order(Some(Mutation::SwapLockPair), &mut report);
+        assert!(!report.clean(), "mutation must be caught");
+        assert!(
+            report.findings.iter().any(|f| f.rule == "LOCK-CYCLE"),
+            "expected a LOCK-CYCLE finding:\n{}",
+            report.render()
+        );
+    }
+}

@@ -120,7 +120,11 @@ pub fn render_diff(a: &Value, b: &Value) -> Result<String, DiffError> {
         &["counter", "left", "right", "delta"],
     );
     let mut unchanged = 0usize;
-    for (field, prefix) in [("counters", ""), ("primitives_applied", "primitive[")] {
+    for (field, prefix) in [
+        ("counters", ""),
+        ("primitives_applied", "primitive["),
+        ("audit_findings", "audit["),
+    ] {
         let left = uint_entries(a, field);
         let right = uint_entries(b, field);
         for key in key_union(&left, &right) {

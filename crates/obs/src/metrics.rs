@@ -319,13 +319,16 @@ impl Histogram {
 }
 
 /// A full metric set: fixed counters, the keyed `primitives_applied`
-/// counter family, and the fixed histograms.
+/// and `audit_findings` counter families, and the fixed histograms.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     counters: [u64; Counter::ALL.len()],
     /// Accepted candidates by headline primitive, weighted by the
     /// Table-1 applications each bundles.
     primitives: BTreeMap<&'static str, u64>,
+    /// Static-verifier findings by audit rule (schema v5). Stays empty
+    /// in search and serve runs; `aceso audit` fills it.
+    audit_findings: BTreeMap<&'static str, u64>,
     histograms: Vec<Histogram>,
 }
 
@@ -334,6 +337,7 @@ impl Default for Metrics {
         Self {
             counters: [0; Counter::ALL.len()],
             primitives: BTreeMap::new(),
+            audit_findings: BTreeMap::new(),
             histograms: HistKind::ALL.iter().map(|&k| Histogram::new(k)).collect(),
         }
     }
@@ -366,6 +370,17 @@ impl Metrics {
         &self.primitives
     }
 
+    /// Adds `n` to the keyed `audit_findings` family, keyed by audit
+    /// rule name.
+    pub fn add_audit_finding(&mut self, rule: &'static str, n: u64) {
+        *self.audit_findings.entry(rule).or_insert(0) += n;
+    }
+
+    /// The keyed `audit_findings` counters, sorted by rule.
+    pub fn audit_findings(&self) -> &BTreeMap<&'static str, u64> {
+        &self.audit_findings
+    }
+
     /// Records a histogram observation.
     pub fn observe(&mut self, h: HistKind, v: f64) {
         self.histograms[h.index()].observe(v);
@@ -384,6 +399,9 @@ impl Metrics {
         for (&k, &v) in &other.primitives {
             *self.primitives.entry(k).or_insert(0) += v;
         }
+        for (&k, &v) in &other.audit_findings {
+            *self.audit_findings.entry(k).or_insert(0) += v;
+        }
         for (a, b) in self.histograms.iter_mut().zip(&other.histograms) {
             a.merge(b);
         }
@@ -399,6 +417,7 @@ impl Metrics {
         obj([
             ("counters", self.counters_json()),
             ("primitives", self.primitives_json()),
+            ("audit_findings", self.audit_findings_json()),
             (
                 "histograms",
                 Value::Object(
@@ -454,6 +473,20 @@ impl Metrics {
                 .ok_or_else(|| JsonError::shape(format!("unknown primitive `{name}`")))?;
             m.add_primitive(interned, value.as_u64()?);
         }
+        // `audit_findings` joined the snapshot in schema v5; a missing
+        // field is an older (pre-v5) checkpoint with an empty family,
+        // not a shape error. Search checkpoints never carry findings,
+        // so in practice this object is empty either way.
+        if let Some(findings) = v.get("audit_findings") {
+            let Value::Object(finding_fields) = findings else {
+                return Err(JsonError::shape("`audit_findings` must be an object"));
+            };
+            for (name, value) in finding_fields {
+                let interned = intern(name)
+                    .ok_or_else(|| JsonError::shape(format!("unknown audit rule `{name}`")))?;
+                m.add_audit_finding(interned, value.as_u64()?);
+            }
+        }
         let histograms = v.field("histograms")?;
         for kind in HistKind::ALL {
             m.histograms[kind.index()] =
@@ -487,6 +520,17 @@ impl Metrics {
     pub fn primitives_json(&self) -> Value {
         Value::Object(
             self.primitives
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), Value::UInt(v)))
+                .collect(),
+        )
+    }
+
+    /// Snapshot of the keyed `audit_findings` family as a JSON object
+    /// (sorted keys).
+    pub fn audit_findings_json(&self) -> Value {
+        Value::Object(
+            self.audit_findings
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), Value::UInt(v)))
                 .collect(),
@@ -572,6 +616,37 @@ mod tests {
         let back =
             Metrics::from_checkpoint_value(&m.to_checkpoint_value(), &intern).expect("round trip");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn audit_findings_round_trip_and_tolerate_pre_v5_checkpoints() {
+        let mut m = Metrics::default();
+        m.add_audit_finding("PLAN-MEM", 2);
+        let intern = |s: &str| (s == "PLAN-MEM").then_some("PLAN-MEM");
+        let back =
+            Metrics::from_checkpoint_value(&m.to_checkpoint_value(), &intern).expect("round trip");
+        assert_eq!(back.audit_findings()["PLAN-MEM"], 2);
+        assert_eq!(back, m);
+        // A pre-v5 checkpoint has no `audit_findings` field at all:
+        // restore must treat it as an empty family, not a shape error.
+        let mut old = Metrics::default().to_checkpoint_value();
+        if let Value::Object(fields) = &mut old {
+            fields.retain(|(k, _)| k != "audit_findings");
+        }
+        let restored = Metrics::from_checkpoint_value(&old, &|_| None).expect("pre-v5 restores");
+        assert!(restored.audit_findings().is_empty());
+        // Unknown rule names still fail strictly.
+        let mut bad = m.to_checkpoint_value();
+        if let Value::Object(fields) = &mut bad {
+            if let Some(Value::Object(findings)) = fields
+                .iter_mut()
+                .find(|(k, _)| k == "audit_findings")
+                .map(|(_, v)| v)
+            {
+                findings.push(("mystery-rule".to_string(), Value::UInt(1)));
+            }
+        }
+        assert!(Metrics::from_checkpoint_value(&bad, &intern).is_err());
     }
 
     #[test]

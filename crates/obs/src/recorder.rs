@@ -90,6 +90,14 @@ impl Recorder {
         }
     }
 
+    /// Adds `n` to the keyed `audit_findings` counter family.
+    #[inline]
+    pub fn count_audit_finding(&self, rule: &'static str, n: u64) {
+        if self.enabled {
+            self.metrics.borrow_mut().add_audit_finding(rule, n);
+        }
+    }
+
     /// Records a histogram observation.
     #[inline]
     pub fn observe(&self, h: HistKind, v: f64) {

@@ -75,7 +75,7 @@ impl ObsReport {
 
     /// Renders the metric snapshot as a pretty JSON document:
     /// `schema_version`, `wall_time_secs` (null unless set), `counters`,
-    /// `primitives_applied`, and `histograms`.
+    /// `primitives_applied`, `audit_findings`, and `histograms`.
     pub fn metrics_json(&self) -> String {
         let doc = obj([
             ("schema_version", Value::UInt(SCHEMA_VERSION)),
@@ -85,6 +85,7 @@ impl ObsReport {
             ),
             ("counters", self.metrics.counters_json()),
             ("primitives_applied", self.metrics.primitives_json()),
+            ("audit_findings", self.metrics.audit_findings_json()),
             ("histograms", self.metrics.histograms_json()),
         ]);
         let mut text = doc.to_string_pretty();
@@ -100,6 +101,9 @@ impl ObsReport {
         }
         for (name, n) in self.metrics.primitives() {
             t.row(&[format!("primitive[{name}]"), n.to_string()]);
+        }
+        for (rule, n) in self.metrics.audit_findings() {
+            t.row(&[format!("audit[{rule}]"), n.to_string()]);
         }
         for h in HistKind::ALL {
             let hist = self.metrics.histogram(h);

@@ -25,7 +25,12 @@
 /// `search_resumed` / `client_retries` and the server-level events
 /// `search_resumed` / `search_restarted` were added (all stay zero in
 /// runs that never touch a checkpoint).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: the keyed `audit_findings` counter family was added to the
+/// snapshot (static-verifier findings by audit rule, mirroring the
+/// shape of `primitives_applied`; stays empty outside `aceso audit`
+/// runs).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]

@@ -19,6 +19,15 @@ const FRAG_BASE: f64 = 1.0;
 /// Stage-dependent fragmentation spread.
 const FRAG_SPREAD: f64 = 0.03;
 
+/// The largest fragmentation factor [`actual_peak_memory`] can apply to
+/// the live-activation term (the per-stage jitter stays within
+/// `[FRAG_BASE, FRAG_BASE + FRAG_SPREAD]`). Static analyses that bound
+/// schedules whose in-flight count exceeds Eq. 1's `p − i` (e.g. GPipe,
+/// where every microbatch stash is live) must inflate the activation
+/// term by this factor — the Eq. 1 reserve slack alone no longer
+/// dominates once activations dwarf the reserve.
+pub const WORST_CASE_FRAG: f64 = FRAG_BASE + FRAG_SPREAD;
+
 /// "Actual" peak memory of one stage device.
 ///
 /// * `params`, `opt` — exact (parameters, gradients, optimiser states);

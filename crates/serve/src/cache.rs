@@ -28,9 +28,10 @@
 use aceso_cluster::ClusterSpec;
 use aceso_model::ModelGraph;
 use aceso_profile::ProfileDb;
+use aceso_util::lockorder::{TrackedCondvar, TrackedGuard, TrackedMutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError};
 
 // The cache keys on the same fingerprints that bind search checkpoints
 // to their inputs; both live in `aceso_core::checkpoint` so a daemon's
@@ -62,8 +63,15 @@ struct State {
 /// Shared, byte-budgeted LRU cache of built [`ProfileDb`]s.
 pub struct ProfileCache {
     budget_bytes: u64,
-    state: Mutex<State>,
-    built: Condvar,
+    state: TrackedMutex<State>,
+    built: TrackedCondvar,
+    /// Set by [`ProfileCache::shutdown`]. Waiters coalesced on a
+    /// concurrent build re-check this after every wakeup so a drain can
+    /// never strand them on a build that may not finish.
+    shutdown: AtomicBool,
+    /// Threads currently blocked waiting out another request's build.
+    /// Observability for tests and the deterministic-scheduler harness.
+    waiters: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -97,8 +105,10 @@ impl ProfileCache {
     pub fn new(budget_bytes: u64) -> Self {
         Self {
             budget_bytes,
-            state: Mutex::new(State::default()),
-            built: Condvar::new(),
+            state: TrackedMutex::new("profile-cache.state", State::default()),
+            built: TrackedCondvar::new(),
+            shutdown: AtomicBool::new(false),
+            waiters: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -109,8 +119,33 @@ impl ProfileCache {
     /// stays consistent under poisoning because mutations are either
     /// single `insert`/`remove` calls or are rolled back by
     /// [`BuildGuard`].
-    fn lock_state(&self) -> MutexGuard<'_, State> {
+    fn lock_state(&self) -> TrackedGuard<'_, State> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Marks the cache as shutting down and wakes every coalesced
+    /// waiter. Waiters blocked on a concurrent build fall back to a
+    /// private uncached build instead of waiting on a build that may
+    /// never finish — liveness over deduplication during a drain. The
+    /// daemon calls this when it starts draining.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Take the state lock before notifying so a waiter that checked
+        // the flag just before we set it is already parked in `wait`
+        // (it held the lock while checking) and cannot miss the wakeup.
+        let _state = self.lock_state();
+        self.built.notify_all();
+    }
+
+    /// Whether [`ProfileCache::shutdown`] has been called.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Number of threads currently blocked waiting out another
+    /// request's build of the same key.
+    pub fn waiting(&self) -> u64 {
+        self.waiters.load(Ordering::SeqCst)
     }
 
     /// Returns the database for `(model, cluster)`, building it on first
@@ -121,6 +156,21 @@ impl ProfileCache {
         &self,
         model: &ModelGraph,
         cluster: &ClusterSpec,
+    ) -> (Arc<ProfileDb>, bool) {
+        self.get_or_build_with(model, cluster, ProfileDb::build)
+    }
+
+    /// [`ProfileCache::get_or_build`] with the build function injected.
+    ///
+    /// The deterministic-scheduler harness passes closures that park on
+    /// barriers, so tests can hold the cache at any point of the
+    /// coalescing protocol and drive adversarial interleavings; the
+    /// production path passes `ProfileDb::build`.
+    pub fn get_or_build_with(
+        &self,
+        model: &ModelGraph,
+        cluster: &ClusterSpec,
+        build: impl FnOnce(&ModelGraph, &ClusterSpec) -> ProfileDb,
     ) -> (Arc<ProfileDb>, bool) {
         let key = (model_fingerprint(model), cluster_fingerprint(cluster));
         {
@@ -138,10 +188,20 @@ impl ProfileCache {
                         return (Arc::clone(&entry.db), true);
                     }
                     Some(Slot::Building) => {
-                        state = self
-                            .built
-                            .wait(state)
-                            .unwrap_or_else(PoisonError::into_inner);
+                        // Re-checked on every wakeup: a drain that
+                        // arrives while we are coalesced on someone
+                        // else's build must not strand us if that build
+                        // never completes. Fall back to a private,
+                        // uncached build (a miss).
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            drop(state);
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            return (Arc::new(build(model, cluster)), false);
+                        }
+                        self.waiters.fetch_add(1, Ordering::SeqCst);
+                        let waited = self.built.wait(state);
+                        self.waiters.fetch_sub(1, Ordering::SeqCst);
+                        state = waited.unwrap_or_else(PoisonError::into_inner);
                     }
                     None => {
                         state.slots.insert(key, Slot::Building);
@@ -158,7 +218,7 @@ impl ProfileCache {
 
         // Build outside the lock: profiling is the expensive part and
         // other keys must stay servable meanwhile.
-        let mut db = ProfileDb::build(model, cluster);
+        let mut db = build(model, cluster);
         // The entry's accounted cost is its own build size: entries
         // folded in below are shared with (and already accounted by)
         // their resident owners.
@@ -407,6 +467,105 @@ mod tests {
         });
         assert_eq!(cache.misses(), 1, "only one thread builds");
         assert_eq!(cache.hits(), 3, "the others share the build");
+    }
+
+    /// Regression: a drain arriving while waiters are coalesced on a
+    /// concurrent build must release them. Before the shutdown re-check
+    /// in the wait loop, the waiter below blocked forever on a build
+    /// that (here, deliberately) never finishes until released.
+    #[test]
+    fn shutdown_during_coalesced_build_releases_waiters() {
+        let cache = ProfileCache::new(u64::MAX);
+        let m = small("a", 2);
+        let c = ClusterSpec::v100(1, 2);
+        let gate = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            // Builder: parks inside the build until the main thread
+            // releases it, holding the slot in `Building`.
+            s.spawn(|| {
+                cache.get_or_build_with(&m, &c, |m, c| {
+                    gate.wait();
+                    ProfileDb::build(m, c)
+                })
+            });
+            // Waiter: coalesces on the builder's slot and blocks.
+            let waiter = s.spawn(|| cache.get_or_build(&m, &c));
+            while cache.waiting() == 0 {
+                std::thread::yield_now();
+            }
+            // Drain. The waiter must come back with a private build —
+            // not hang until the builder is released.
+            cache.shutdown();
+            let (_db, hit) = waiter.join().expect("waiter returns");
+            assert!(!hit, "a shutdown fallback build is a miss");
+            // Release the builder; its entry still lands in the cache.
+            gate.wait();
+        });
+        assert_eq!(cache.misses(), 2, "builder + waiter fallback");
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// Deterministic-scheduler harness: drives the coalescing protocol
+    /// through adversarial interleavings by parking the build closure on
+    /// a barrier, so each ordering below is exact, not probabilistic.
+    #[test]
+    fn coalescing_protocol_survives_adversarial_interleavings() {
+        let m = small("a", 2);
+        let c = ClusterSpec::v100(1, 2);
+
+        // Interleaving 1: waiter blocks, builder released, waiter hits.
+        let cache = ProfileCache::new(u64::MAX);
+        let gate = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cache.get_or_build_with(&m, &c, |m, c| {
+                    gate.wait();
+                    ProfileDb::build(m, c)
+                })
+            });
+            let waiter = s.spawn(|| cache.get_or_build(&m, &c));
+            while cache.waiting() == 0 {
+                std::thread::yield_now();
+            }
+            gate.wait();
+            let (_db, hit) = waiter.join().expect("waiter returns");
+            assert!(hit, "released build is shared: the waiter hits");
+        });
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Interleaving 2: shutdown lands before any request. Requests
+        // still complete (drain must finish in-flight work).
+        let cache = ProfileCache::new(u64::MAX);
+        cache.shutdown();
+        let (_db, hit) = cache.get_or_build(&m, &c);
+        assert!(!hit);
+        let (_db, hit) = cache.get_or_build(&m, &c);
+        assert!(hit, "resident entries still hit after shutdown");
+
+        // Interleaving 3: two waiters coalesced, shutdown releases both,
+        // then the builder completes. No waiter is stranded and every
+        // call returns a usable database.
+        let cache = ProfileCache::new(u64::MAX);
+        let gate = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cache.get_or_build_with(&m, &c, |m, c| {
+                    gate.wait();
+                    ProfileDb::build(m, c)
+                })
+            });
+            let w1 = s.spawn(|| cache.get_or_build(&m, &c));
+            let w2 = s.spawn(|| cache.get_or_build(&m, &c));
+            while cache.waiting() < 2 {
+                std::thread::yield_now();
+            }
+            cache.shutdown();
+            assert!(!w1.join().expect("w1 returns").1);
+            assert!(!w2.join().expect("w2 returns").1);
+            gate.wait();
+        });
+        assert_eq!(cache.misses(), 3, "builder + two fallback builds");
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //!
 //! [`Value`]: aceso_util::json::Value
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod client;
@@ -42,5 +42,5 @@ pub use cache::{cluster_fingerprint, model_fingerprint, ProfileCache};
 pub use client::{server_stats, shutdown, submit, submit_with_retries, ClientError, Response};
 pub use fault::FaultProxy;
 pub use proto::{error_frame, event_frame, status_frame, Request};
-pub use server::{spool_path, ServeOptions, Server};
+pub use server::{spool_path, sweep_spools, ServeOptions, Server};
 pub use wire::{read_frame, write_frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};

@@ -68,6 +68,12 @@ pub struct ServeOptions {
     /// Per-stage iteration interval between checkpoint spools; only
     /// meaningful with [`ServeOptions::spool_dir`]. Clamped to ≥ 1.
     pub checkpoint_every: usize,
+    /// Age (seconds) past which an abandoned spool file is pruned. The
+    /// sweep runs once at daemon start and then periodically while the
+    /// daemon is up. Spools exist precisely so clients can come back
+    /// later, so the TTL should comfortably exceed any plausible retry
+    /// horizon. `None` (the default) never prunes.
+    pub spool_ttl_secs: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -82,6 +88,7 @@ impl Default for ServeOptions {
             io_timeout: Some(Duration::from_secs(30)),
             spool_dir: None,
             checkpoint_every: 8,
+            spool_ttl_secs: None,
         }
     }
 }
@@ -207,6 +214,7 @@ impl Server {
     /// drains in-flight requests and returns the server-level
     /// observability report (the serve counter quartet).
     pub fn run(self) -> ObsReport {
+        let sweeper = self.spawn_spool_sweeper();
         for conn in self.listener.incoming() {
             if self.shared.draining.load(Ordering::SeqCst) {
                 break;
@@ -215,14 +223,76 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || handle_connection(&shared, stream));
         }
+        // Release any request coalesced on a profile build before
+        // blocking on the drain: a stranded cache waiter would hold its
+        // worker slot and the drain below would never finish.
+        self.shared.cache.shutdown();
         // Graceful drain: wait for every in-flight search to finish.
         let mut n = self.shared.in_flight.lock().expect("slot lock");
         while *n > 0 {
             n = self.shared.idle.wait(n).expect("slot lock");
         }
         drop(n);
+        if let Some(handle) = sweeper {
+            let _ = handle.join();
+        }
         self.shared.report()
     }
+
+    /// Starts the background spool sweeper when both a spool directory
+    /// and a TTL are configured: one sweep immediately (reclaiming spools
+    /// abandoned across daemon restarts), then one per TTL interval,
+    /// polling the drain flag often enough to exit promptly.
+    fn spawn_spool_sweeper(&self) -> Option<std::thread::JoinHandle<()>> {
+        let ttl = Duration::from_secs(self.shared.opts.spool_ttl_secs.filter(|t| *t > 0)?);
+        let dir = self.shared.opts.spool_dir.clone()?;
+        let shared = Arc::clone(&self.shared);
+        Some(std::thread::spawn(move || {
+            sweep_spools(&dir, ttl);
+            let mut since_sweep = Duration::ZERO;
+            loop {
+                let tick = ttl.min(Duration::from_millis(200));
+                std::thread::sleep(tick);
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                since_sweep += tick;
+                if since_sweep >= ttl {
+                    sweep_spools(&dir, ttl);
+                    since_sweep = Duration::ZERO;
+                }
+            }
+        }))
+    }
+}
+
+/// Removes every spool artifact in `dir` (`.ckpt` checkpoints and
+/// `.ckpt.tmp` write leftovers) whose last modification is older than
+/// `ttl`, returning how many files were pruned. Files the sweep cannot
+/// stat or remove are skipped — the sweep is hygiene, never load-bearing.
+pub fn sweep_spools(dir: &Path, ttl: Duration) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut pruned = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !(name.ends_with(".ckpt") || name.ends_with(".ckpt.tmp")) {
+            continue;
+        }
+        let aged = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= ttl);
+        if aged && std::fs::remove_file(&path).is_ok() {
+            pruned += 1;
+        }
+    }
+    pruned
 }
 
 /// True when an i/o error is a socket deadline expiring. Both kinds

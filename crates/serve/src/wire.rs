@@ -237,4 +237,130 @@ mod tests {
             Err(WireError::BadJson(_))
         ));
     }
+
+    /// One valid wire frame of every frame kind the protocol can emit
+    /// (`docs/SERVER.md` vocabulary: request, stats, shutdown, status,
+    /// event, result, error, ok).
+    fn frame_corpus() -> Vec<(&'static str, Value)> {
+        let request = crate::proto::Request {
+            model: "gpt3-0.35b".into(),
+            request_id: Some("fuzz-1".into()),
+            ..crate::proto::Request::default()
+        };
+        vec![
+            ("request", aceso_util::json::ToJson::to_json_value(&request)),
+            ("stats", obj([("type", Value::Str("stats".into()))])),
+            ("shutdown", obj([("type", Value::Str("shutdown".into()))])),
+            (
+                "status",
+                crate::proto::status_frame("searching", Some("hit")),
+            ),
+            (
+                "event",
+                crate::proto::event_frame(3, obj([("kind", Value::Str("accept".into()))])),
+            ),
+            (
+                "result",
+                obj([
+                    ("type", Value::Str("result".into())),
+                    ("protocol_version", Value::UInt(PROTOCOL_VERSION)),
+                    ("model", Value::Str("gpt3-0.35b".into())),
+                    ("iteration_time", Value::Float(0.125)),
+                ]),
+            ),
+            (
+                "error",
+                crate::proto::error_frame("bad-request", "fuzz probe"),
+            ),
+            ("ok", obj([("type", Value::Str("ok".into()))])),
+        ]
+    }
+
+    /// Seeded byte-mutation fuzz over every frame kind: flipping 1–3
+    /// bytes of a valid frame must decode to a typed result — `Ok` or a
+    /// `WireError` — never a panic. When every mutation lands in the
+    /// payload region (the length prefix is intact), the error must be
+    /// `BadJson` specifically, and a pristine sentinel frame written
+    /// after the mutated one must still read back exactly: a corrupt
+    /// payload may poison its own frame but never the stream framing.
+    #[test]
+    fn mutated_frames_decode_to_typed_errors_never_panic() {
+        let sentinel = obj([("type", Value::Str("ok".into())), ("seq", Value::UInt(7))]);
+        let mut rng = aceso_util::SplitMix64::new(0xF0_22_ED);
+        for (kind, frame) in frame_corpus() {
+            let mut pristine = Vec::new();
+            write_frame(&mut pristine, &frame).expect("writes");
+            let payload_len = pristine.len() - 4;
+            for round in 0..200 {
+                let mut bytes = pristine.clone();
+                let flips = 1 + rng.next_below(3);
+                let mut payload_only = true;
+                for _ in 0..flips {
+                    let at = rng.next_below(bytes.len());
+                    if at < 4 {
+                        payload_only = false;
+                    }
+                    bytes[at] ^= (rng.next_u64() % 255 + 1) as u8;
+                }
+                let mut stream = bytes;
+                write_frame(&mut stream, &sentinel).expect("writes");
+                let mut r = stream.as_slice();
+                let first = read_frame(&mut r);
+                if payload_only {
+                    // Prefix intact: the frame boundary is unambiguous.
+                    match &first {
+                        Ok(v) => {
+                            // A lucky mutation can still be valid JSON;
+                            // typed decoding of it must not panic either.
+                            let _ = <crate::proto::Request as aceso_util::json::FromJson>::from_json_value(v);
+                        }
+                        Err(WireError::BadJson(_)) => {}
+                        Err(other) => panic!(
+                            "{kind} round {round}: payload mutation must be \
+                             Ok or BadJson, got {other:?}"
+                        ),
+                    }
+                    let next = read_frame(&mut r).unwrap_or_else(|e| {
+                        panic!("{kind} round {round}: sentinel lost after mutation: {e}")
+                    });
+                    assert_eq!(
+                        next.to_string_compact(),
+                        sentinel.to_string_compact(),
+                        "{kind} round {round}: framing drifted"
+                    );
+                } else {
+                    // A mutated length prefix may swallow the sentinel or
+                    // claim an oversize frame; any typed outcome is fine,
+                    // silent mis-framing into a *valid parse of different
+                    // length* is what the Ok arm below would surface.
+                    if let Ok(v) = first {
+                        assert!(
+                            v.to_string_compact().len() <= payload_len + sentinel_len(&sentinel),
+                            "{kind} round {round}: parsed beyond the stream"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn sentinel_len(v: &Value) -> usize {
+        v.to_string_compact().len() + 4
+    }
+
+    /// Truncating every frame kind at every byte boundary (not just the
+    /// request frame) is always a typed error.
+    #[test]
+    fn every_frame_kind_truncates_to_typed_errors() {
+        for (kind, frame) in frame_corpus() {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).expect("writes");
+            for cut in 0..buf.len() {
+                assert!(
+                    read_frame(&mut &buf[..cut]).is_err(),
+                    "{kind} cut at byte {cut} must not parse"
+                );
+            }
+        }
+    }
 }

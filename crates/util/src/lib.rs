@@ -7,6 +7,7 @@
 
 pub mod hash;
 pub mod json;
+pub mod lockorder;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,472 @@
+//! Shadow lock-order tracking for deadlock analysis.
+//!
+//! [`TrackedMutex`] and [`TrackedCondvar`] are drop-in wrappers around
+//! `std::sync::Mutex` / `Condvar` that record, per thread, which lock
+//! *classes* (named at construction) are held whenever a new one is
+//! acquired. Every held→acquired pair becomes an edge in a process-wide
+//! acquisition graph ([`global`]); a cycle in that graph is a potential
+//! deadlock — two threads could interleave the same pairs in opposite
+//! orders — even if no run ever actually deadlocked.
+//!
+//! Recording costs one atomic load when disabled. It is on by default
+//! only under the `lock-order` cargo feature (enabled transitively by
+//! `aceso-core/debug-invariants`, so the CI invariant-checking test pass
+//! records across the whole suite); [`set_recording`] flips it at
+//! runtime, which is how `aceso audit` drives its lock-order analyzer in
+//! plain builds.
+//!
+//! A [`TrackedMutex`] built with [`TrackedMutex::with_sink`] records
+//! into a private [`LockGraph`] *instead of* the global one. Mutation
+//! harnesses use this to inject a deliberately inverted lock pair and
+//! observe the cycle without poisoning the process-wide graph that
+//! other tests in the same binary assert is clean.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Whether acquisitions are being recorded. Defaults on under the
+/// `lock-order` feature so a whole test suite can be swept without
+/// per-call opt-in.
+static RECORDING: AtomicBool = AtomicBool::new(cfg!(feature = "lock-order"));
+
+/// Enables or disables acquisition recording process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::SeqCst);
+}
+
+/// True when acquisitions are currently being recorded.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::SeqCst)
+}
+
+thread_local! {
+    /// Lock classes currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+fn push_held(name: &'static str) {
+    HELD.with(|h| h.borrow_mut().push(name));
+}
+
+fn pop_held(name: &'static str) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(i) = held.iter().rposition(|n| *n == name) {
+            held.remove(i);
+        }
+    });
+}
+
+#[derive(Default)]
+struct GraphInner {
+    /// Directed held→acquired edges between lock classes.
+    edges: BTreeSet<(&'static str, &'static str)>,
+    /// Total recorded acquisitions per lock class.
+    acquisitions: BTreeMap<&'static str, u64>,
+}
+
+/// A directed graph of observed lock-acquisition orders.
+///
+/// Nodes are lock-class names, edges mean "a thread acquired the target
+/// while holding the source". An acyclic graph proves a consistent
+/// global acquisition order over everything observed; a cycle is a
+/// potential deadlock.
+#[derive(Default)]
+pub struct LockGraph {
+    inner: Mutex<GraphInner>,
+}
+
+impl LockGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, GraphInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one acquisition of `name` while `held` were already held.
+    pub fn record(&self, held: &[&'static str], name: &'static str) {
+        let mut g = self.lock_inner();
+        for h in held {
+            g.edges.insert((h, name));
+        }
+        *g.acquisitions.entry(name).or_insert(0) += 1;
+    }
+
+    /// Copies every edge and acquisition count of `other` into `self`.
+    /// Mutation harnesses seed a private sink from a snapshot of the
+    /// global graph so the injected inversion is judged against the
+    /// orders the real code actually uses.
+    pub fn absorb(&self, other: &LockGraph) {
+        let (edges, acqs) = {
+            let o = other.lock_inner();
+            (o.edges.clone(), o.acquisitions.clone())
+        };
+        let mut g = self.lock_inner();
+        g.edges.extend(edges);
+        for (k, v) in acqs {
+            *g.acquisitions.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// All recorded held→acquired edges, sorted.
+    pub fn edges(&self) -> Vec<(&'static str, &'static str)> {
+        self.lock_inner().edges.iter().copied().collect()
+    }
+
+    /// Total recorded acquisitions per lock class, sorted by name.
+    pub fn acquisitions(&self) -> Vec<(&'static str, u64)> {
+        self.lock_inner()
+            .acquisitions
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// Discards every recorded edge and count.
+    pub fn clear(&self) {
+        let mut g = self.lock_inner();
+        g.edges.clear();
+        g.acquisitions.clear();
+    }
+
+    /// Finds a cycle in the acquisition graph, if any, returned as the
+    /// class names along the cycle (first == last). `None` proves a
+    /// consistent global lock order exists for everything recorded.
+    pub fn cycle(&self) -> Option<Vec<&'static str>> {
+        let edges = self.edges();
+        let mut adj: BTreeMap<&'static str, Vec<&'static str>> = BTreeMap::new();
+        for (a, b) in &edges {
+            adj.entry(a).or_default().push(b);
+        }
+        // Iterative DFS with three colours: 0 unvisited, 1 on stack, 2 done.
+        let mut colour: BTreeMap<&'static str, u8> = BTreeMap::new();
+        let nodes: Vec<&'static str> = adj.keys().copied().collect();
+        for start in nodes {
+            if colour.get(start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Stack of (node, next child index); path mirrors the stack.
+            let mut stack: Vec<(&'static str, usize)> = vec![(start, 0)];
+            colour.insert(start, 1);
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let children = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match colour.get(child).copied().unwrap_or(0) {
+                        0 => {
+                            colour.insert(child, 1);
+                            stack.push((child, 0));
+                        }
+                        1 => {
+                            // Found a back edge: the cycle is the stack
+                            // suffix from `child` plus the closing hop.
+                            let from = stack.iter().position(|(n, _)| *n == child).unwrap_or(0);
+                            let mut path: Vec<&'static str> =
+                                stack[from..].iter().map(|(n, _)| *n).collect();
+                            path.push(child);
+                            return Some(path);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour.insert(node, 2);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The process-wide acquisition graph every sink-less [`TrackedMutex`]
+/// records into while [`recording`] is on.
+pub fn global() -> &'static LockGraph {
+    static GLOBAL: OnceLock<LockGraph> = OnceLock::new();
+    GLOBAL.get_or_init(LockGraph::new)
+}
+
+/// A named mutex that records its acquisition order.
+pub struct TrackedMutex<T> {
+    name: &'static str,
+    sink: Option<Arc<LockGraph>>,
+    inner: Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// A tracked mutex recording into the [`global`] graph (while
+    /// recording is enabled).
+    pub fn new(name: &'static str, value: T) -> Self {
+        Self {
+            name,
+            sink: None,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// A tracked mutex recording into `sink` only — always, regardless
+    /// of the global recording flag — and never into the global graph.
+    pub fn with_sink(name: &'static str, value: T, sink: Arc<LockGraph>) -> Self {
+        Self {
+            name,
+            sink: Some(sink),
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The lock-class name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn record_acquire(&self) {
+        let graph: &LockGraph = match &self.sink {
+            Some(s) => s,
+            None if recording() => global(),
+            None => return,
+        };
+        HELD.with(|h| graph.record(&h.borrow(), self.name));
+        push_held(self.name);
+    }
+
+    /// Whether this acquisition is visible to a graph (and so pushed on
+    /// the held stack).
+    fn tracked(&self) -> bool {
+        self.sink.is_some() || recording()
+    }
+
+    /// Locks, mirroring `std::sync::Mutex::lock`'s poison semantics so
+    /// callers keep their `unwrap_or_else(PoisonError::into_inner)`
+    /// idiom.
+    pub fn lock(&self) -> LockResult<TrackedGuard<'_, T>> {
+        let tracked = self.tracked();
+        if tracked {
+            // Record the edge before blocking: a would-be deadlock still
+            // leaves its evidence in the graph.
+            self.record_acquire();
+        }
+        let name = if tracked { Some(self.name) } else { None };
+        match self.inner.lock() {
+            Ok(g) => Ok(TrackedGuard {
+                name,
+                guard: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(TrackedGuard {
+                name,
+                guard: Some(p.into_inner()),
+            })),
+        }
+    }
+}
+
+/// Guard returned by [`TrackedMutex::lock`]; releases the held-stack
+/// entry on drop.
+pub struct TrackedGuard<'a, T> {
+    /// The class name to pop on drop; `None` when the acquisition was
+    /// not recorded (so an untracked lock never unbalances the stack).
+    name: Option<&'static str>,
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> Drop for TrackedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.guard.is_some() {
+            if let Some(name) = self.name {
+                pop_held(name);
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for TrackedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+/// A condvar aware of [`TrackedGuard`]s: waiting releases the held-stack
+/// entry (the lock really is released while blocked) and re-records the
+/// acquisition when the wait returns.
+#[derive(Default)]
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// A new condvar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits a guard into its raw `MutexGuard`, popping the held stack.
+    fn release<'a, T>(mut guard: TrackedGuard<'a, T>) -> (Option<&'static str>, MutexGuard<'a, T>) {
+        let name = guard.name;
+        let raw = guard.guard.take().expect("guard present");
+        if let Some(n) = name {
+            pop_held(n);
+        }
+        (name, raw)
+    }
+
+    /// Re-wraps a raw guard after the wait, restoring the held-stack
+    /// entry (the reacquisition is not a fresh `lock()` call, so it is
+    /// not counted as a new graph acquisition).
+    fn reacquire<'a, T>(name: Option<&'static str>, raw: MutexGuard<'a, T>) -> TrackedGuard<'a, T> {
+        if let Some(n) = name {
+            push_held(n);
+        }
+        TrackedGuard {
+            name,
+            guard: Some(raw),
+        }
+    }
+
+    /// Blocks until notified, like `Condvar::wait`.
+    pub fn wait<'a, T>(&self, guard: TrackedGuard<'a, T>) -> LockResult<TrackedGuard<'a, T>> {
+        let (name, raw) = Self::release(guard);
+        match self.inner.wait(raw) {
+            Ok(g) => Ok(Self::reacquire(name, g)),
+            Err(p) => Err(PoisonError::new(Self::reacquire(name, p.into_inner()))),
+        }
+    }
+
+    /// Blocks until notified or `dur` elapses, like
+    /// `Condvar::wait_timeout` minus the timed-out flag (callers re-check
+    /// their predicate anyway).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: TrackedGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<TrackedGuard<'a, T>> {
+        let (name, raw) = Self::release(guard);
+        match self.inner.wait_timeout(raw, dur) {
+            Ok((g, _)) => Ok(Self::reacquire(name, g)),
+            Err(p) => {
+                let (g, _) = p.into_inner();
+                Err(PoisonError::new(Self::reacquire(name, g)))
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untracked_locks_record_nothing() {
+        let sink = Arc::new(LockGraph::new());
+        // No sink and recording off: nothing lands in the global graph
+        // under this class name.
+        let m = TrackedMutex::new("lockorder-test-untracked", 1u32);
+        if !recording() {
+            let _g = m.lock().unwrap();
+            assert!(global()
+                .acquisitions()
+                .iter()
+                .all(|(n, _)| *n != "lockorder-test-untracked"));
+        }
+        drop(sink);
+    }
+
+    #[test]
+    fn nested_acquisition_records_an_edge() {
+        let sink = Arc::new(LockGraph::new());
+        let a = TrackedMutex::with_sink("lockorder-test-a", 0u32, Arc::clone(&sink));
+        let b = TrackedMutex::with_sink("lockorder-test-b", 0u32, Arc::clone(&sink));
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        assert!(sink
+            .edges()
+            .contains(&("lockorder-test-a", "lockorder-test-b")));
+        assert!(sink.cycle().is_none());
+    }
+
+    #[test]
+    fn inverted_orders_form_a_cycle() {
+        let sink = Arc::new(LockGraph::new());
+        let a = TrackedMutex::with_sink("lockorder-test-x", 0u32, Arc::clone(&sink));
+        let b = TrackedMutex::with_sink("lockorder-test-y", 0u32, Arc::clone(&sink));
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        let cycle = sink.cycle().expect("inverted pair must cycle");
+        assert!(cycle.len() >= 3, "cycle path closes on itself: {cycle:?}");
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn condvar_wait_releases_the_held_entry() {
+        let sink = Arc::new(LockGraph::new());
+        let m = Arc::new(TrackedMutex::with_sink(
+            "lockorder-test-cv",
+            false,
+            Arc::clone(&sink),
+        ));
+        let cv = Arc::new(TrackedCondvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let waiter = std::thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            while !*g {
+                g = cv2.wait(g).unwrap();
+            }
+        });
+        // Let the waiter block, then flip the flag.
+        std::thread::sleep(Duration::from_millis(20));
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+        waiter.join().expect("waiter joins");
+        // Two fresh acquisitions: the waiter's initial lock and ours
+        // (the post-wait reacquisition restores the held stack but is
+        // not a new lock() call).
+        let acqs = sink.acquisitions();
+        let n = acqs
+            .iter()
+            .find(|(n, _)| *n == "lockorder-test-cv")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert!(n >= 2, "expected >=2 recorded acquisitions, got {n}");
+        assert!(sink.cycle().is_none());
+    }
+
+    #[test]
+    fn absorb_merges_edges_and_counts() {
+        let a = LockGraph::new();
+        let b = LockGraph::new();
+        a.record(&["p"], "q");
+        b.record(&["q"], "p");
+        a.absorb(&b);
+        assert!(a.cycle().is_some());
+        assert_eq!(a.acquisitions().len(), 2);
+    }
+}

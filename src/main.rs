@@ -42,11 +42,13 @@ usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
              [--zero] [--plan-out FILE] [--metrics-out FILE]
              [--events-out FILE] [--no-metrics] [--checkpoint FILE]
              [--resume FILE] [--checkpoint-every I]
-       aceso audit [--smoke] [--json FILE] [--epsilon E]
+       aceso audit [--smoke] [--full] [--json FILE] [--epsilon E]
+             [--mutate M] [--metrics-out FILE]
        aceso serve [--addr HOST:PORT] [--workers N] [--cache-mb M]
              [--max-budget-secs S] [--max-gpus N] [--max-iterations I]
              [--max-deepnet-layers L] [--io-timeout-secs S]
              [--spool-dir DIR] [--checkpoint-every I]
+             [--spool-ttl-secs S]
        aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
              [--zero] [--iterations I] [--budget-secs S] [--seed K]
              [--request-id ID] [--retries N] [--plan-out FILE]
@@ -76,9 +78,18 @@ flags:
 audit: run the static invariant analyzers (primitive signatures,
 transform validity, perf-model consistency, search-trace replay) over
 the model-zoo corpus; exits non-zero if any finding is reported
-  --smoke           audit a single small model (fast CI check)
+  --smoke           audit a single small model (fast CI check); includes
+                    the whole-system analyzers at reduced depth
+  --full            also run the whole-system analyzers at full depth:
+                    plan-safety proofs, protocol state-machine checking,
+                    lock-order deadlock analysis (docs/ANALYSIS.md)
   --json FILE       also write the findings report as JSON
   --epsilon E       float comparison tolerance (default 1e-9)
+  --mutate M        seed a bug injection for the mutation gates; the run
+                    must exit 1 with the matching finding (one of:
+                    mem-bound, reorder-frame, swap-lock-pair)
+  --metrics-out FILE  write an observability metric snapshot with the
+                    per-rule `audit_findings` counter family
 
 serve: run the search daemon (wire contract in docs/SERVER.md)
   --addr HOST:PORT  listen address (default 127.0.0.1:7100; port 0 picks
@@ -99,6 +110,10 @@ serve: run the search daemon (wire contract in docs/SERVER.md)
                     resubmitted request resumes after a crash or dropped
                     connection (docs/SERVER.md; default: no spooling)
   --checkpoint-every I  iterations between checkpoint spools (default 8)
+  --spool-ttl-secs S  prune spooled checkpoints older than S seconds at
+                    startup and periodically while serving (default: no
+                    pruning; reclaims spools abandoned by crashed or
+                    never-resubmitted requests)
 
 submit: send one search to a daemon and collect the streamed response
   --iterations I    per-stage-count iteration budget (default 48); the
@@ -120,6 +135,7 @@ snapshots; exits 2 when the snapshots disagree on schema_version";
 fn run_audit(mut it: impl Iterator<Item = String>) -> ! {
     let mut opts = AuditOptions::default();
     let mut json_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         let parsed = match flag.as_str() {
@@ -127,7 +143,17 @@ fn run_audit(mut it: impl Iterator<Item = String>) -> ! {
                 opts.smoke = true;
                 Ok(())
             }
+            "--full" => {
+                opts.full = true;
+                Ok(())
+            }
             "--json" => value("--json").map(|v| json_out = Some(v)),
+            "--metrics-out" => value("--metrics-out").map(|v| metrics_out = Some(v)),
+            "--mutate" => value("--mutate").and_then(|v| {
+                aceso_audit::Mutation::parse(&v)
+                    .map(|m| opts.mutation = Some(m))
+                    .ok_or_else(|| format!("--mutate: unknown mutation `{v}`"))
+            }),
             "--epsilon" => value("--epsilon").and_then(|v| {
                 v.parse()
                     .map(|e| opts.epsilon = e)
@@ -162,6 +188,19 @@ fn run_audit(mut it: impl Iterator<Item = String>) -> ! {
             std::process::exit(2);
         }
         eprintln!("wrote JSON report to {path}");
+    }
+    if let Some(path) = metrics_out {
+        let rec = Recorder::new(true);
+        for (rule, n) in report.rule_counts() {
+            rec.count_audit_finding(rule, n as u64);
+        }
+        let mut obs = ObsReport::new();
+        obs.absorb(rec);
+        if let Err(e) = std::fs::write(&path, obs.metrics_json()) {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote metric snapshot to {path}");
     }
     std::process::exit(if report.clean() { 0 } else { 1 });
 }
@@ -216,6 +255,11 @@ fn run_serve(mut it: impl Iterator<Item = String>) -> ! {
                 v.parse::<usize>()
                     .map(|n| opts.checkpoint_every = n.max(1))
                     .map_err(|e| format!("--checkpoint-every: {e}"))
+            }),
+            "--spool-ttl-secs" => value("--spool-ttl-secs").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|s| opts.spool_ttl_secs = (s > 0).then_some(s))
+                    .map_err(|e| format!("--spool-ttl-secs: {e}"))
             }),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");

@@ -583,6 +583,47 @@ fn bad_spools_degrade_to_fresh_runs() {
     let _ = std::fs::remove_dir_all(&spool);
 }
 
+/// Spool hygiene: the TTL sweep prunes aged checkpoints (and torn-write
+/// `.tmp` leftovers) while live spools survive — both when called
+/// directly and as the daemon's start-up sweep.
+#[test]
+fn spool_ttl_sweep_prunes_aged_spools_and_keeps_live_ones() {
+    let spool = temp_spool("ttl");
+    let aged = spool_path(&spool, "aged-job");
+    std::fs::write(&aged, "{}").unwrap();
+    let tmp = aged.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, "{").unwrap();
+    std::thread::sleep(Duration::from_millis(1200));
+    let live = spool_path(&spool, "live-job");
+    std::fs::write(&live, "{}").unwrap();
+    let pruned = serve::sweep_spools(&spool, Duration::from_secs(1));
+    assert_eq!(pruned, 2, "the aged spool and its tmp leftover go");
+    assert!(!aged.exists());
+    assert!(!tmp.exists());
+    assert!(live.exists(), "a spool younger than the TTL survives");
+
+    // The daemon runs the same sweep at start when --spool-ttl-secs is
+    // set: the re-aged spool disappears without any request arriving.
+    std::fs::write(&aged, "{}").unwrap();
+    std::thread::sleep(Duration::from_millis(1200));
+    let live2 = spool_path(&spool, "live-job-2");
+    std::fs::write(&live2, "{}").unwrap();
+    let (addr, handle) = start(ServeOptions {
+        spool_dir: Some(spool.clone()),
+        spool_ttl_secs: Some(1),
+        ..ServeOptions::default()
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while aged.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(!aged.exists(), "daemon start must prune aged spools");
+    assert!(live2.exists(), "daemon start must keep live spools");
+    serve::shutdown(&addr).expect("shutdown");
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
 /// The submitted plan round-trips: a `plan: true` request returns the
 /// same JSON the runtime's `ExecutionPlan::build` produces directly.
 #[test]
