@@ -1,6 +1,8 @@
 #!/bin/sh
 # CI gate: formatting, lints (warnings are errors), rustdoc (warnings
-# are errors), the tier-1 build + test cycle in both invariant modes,
+# are errors), a documentation-consistency gate (every flag, schema
+# token and schema version mentioned in docs/*.md must still exist in
+# the code), the tier-1 build + test cycle in both invariant modes,
 # the full-corpus differential perf-equivalence sweep (incremental vs
 # from-scratch evaluation must stay bit-identical), the full
 # whole-system static verifier (plan-safety proofs, protocol
@@ -26,6 +28,9 @@ cargo clippy --workspace --all-targets --features aceso-core/debug-invariants --
 
 echo "==> cargo doc (workspace, no deps, -D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> doc consistency: docs/*.md vs CLI usage + obs schema registry"
+cargo run --release --quiet -p aceso-bench --bin doc_check
 
 echo "==> tier-1: cargo build --release"
 cargo build --release

@@ -1,0 +1,254 @@
+//! Documentation-consistency gate.
+//!
+//! `ci.sh` runs this binary after the test suite. It fails (exit 1) when
+//! any `docs/*.md`, `README.md`, or `results/README.md` mentions:
+//!
+//! * a `--flag` the `aceso` binary does not advertise in its usage text
+//!   ([`aceso::cli::USAGE`]) — external-tool flags (cargo's) are
+//!   allowlisted;
+//! * a backticked `snake_case` token in a markdown table row that is not
+//!   a registered counter, event kind, event field, or histogram
+//!   ([`aceso::obs::schema`]) — structural/wire field names are
+//!   allowlisted;
+//! * a stale schema version: the phrase `checkpoint schema version: N`
+//!   must match [`aceso::search::CHECKPOINT_SCHEMA_VERSION`], and any
+//!   other `schema version: N` / `` `schema_version` ``: N must match
+//!   [`aceso::obs::SCHEMA_VERSION`].
+//!
+//! The registries are the single source of truth; this gate only keeps
+//! the prose from drifting behind them.
+
+use aceso::cli::USAGE;
+use aceso::obs::schema::{COUNTERS, EVENTS, HISTOGRAMS};
+use aceso::obs::SCHEMA_VERSION;
+use aceso::search::CHECKPOINT_SCHEMA_VERSION;
+
+/// Flags that belong to external tools (cargo) which the docs may
+/// legitimately mention without the `aceso` binary advertising them.
+const EXTERNAL_FLAGS: &[&str] = &[
+    "--release",
+    "--bin",
+    "--test",
+    "--example",
+    "--workspace",
+    "--quiet",
+    "--all-targets",
+];
+
+/// Backticked snake_case tokens that appear in doc table rows but name
+/// wire-protocol fields, JSON structure, or keyed metric families rather
+/// than schema registry entries. Anything not here and not in the
+/// registry fails the gate.
+const STRUCTURAL_TOKENS: &[&str] = &[
+    // JSON snapshot / event-stream structure (docs/OBSERVABILITY.md).
+    "schema_version",
+    "counters",
+    "histograms",
+    "count",
+    "sum",
+    "buckets",
+    "audit_findings",
+    "seq",
+    "kind",
+    "wall_time_secs",
+    // BENCH_search.json fields (docs/BENCHMARKS.md).
+    "configs_per_sec",
+    // Wire-protocol frame fields (docs/SERVER.md).
+    "type",
+    "code",
+    "phase",
+    "cache",
+    "event",
+    "result",
+    "metrics",
+    "protocol_version",
+    "model",
+    "gpus",
+    "stages",
+    "zero",
+    "budget_secs",
+    "plan",
+    "search_threads",
+    "best_time",
+    "best_oom",
+    "error",
+    "message",
+    "length",
+    "timeout",
+    // Audit finding fields (docs/ANALYSIS.md).
+    "rule",
+    "severity",
+    "location",
+    "detail",
+    // Resource names (docs/SEARCH.md, docs/OBSERVABILITY.md prose).
+    "compute",
+    "communication",
+    "memory",
+    // Simulator schedule names.
+    "gpipe",
+];
+
+/// The documentation set the gate covers.
+fn doc_paths() -> Vec<std::path::PathBuf> {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut paths = vec![root.join("README.md"), root.join("results/README.md")];
+    let docs = root.join("docs");
+    let mut entries: Vec<_> = std::fs::read_dir(&docs)
+        .unwrap_or_else(|e| fail(&format!("cannot list {}: {e}", docs.display())))
+        .map(|e| e.expect("readable docs entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    entries.sort();
+    paths.extend(entries);
+    paths
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("doc_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Every `--flag` token in `text` (same shape the usage text uses).
+fn flag_tokens(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("--") {
+        let start = i + pos;
+        let end = bytes[start + 2..]
+            .iter()
+            .position(|b| !(b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'-'))
+            .map_or(text.len(), |n| start + 2 + n);
+        // Require a letter right after the dashes (skips `---` rules and
+        // em-dash-like runs) and a non-dash boundary before them.
+        let preceded_by_dash = start > 0 && bytes[start - 1] == b'-';
+        if end > start + 2 && bytes[start + 2].is_ascii_lowercase() && !preceded_by_dash {
+            out.push(text[start..end].trim_end_matches('-').to_string());
+        }
+        i = start + 2;
+    }
+    out
+}
+
+/// Backticked snake_case tokens in markdown table rows (lines starting
+/// with `|`).
+fn table_row_tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let Some(len) = rest[open + 1..].find('`') else {
+                break;
+            };
+            let token = &rest[open + 1..open + 1 + len];
+            if !token.is_empty()
+                && token
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+                && token.chars().next().unwrap().is_ascii_lowercase()
+            {
+                out.push(token.to_string());
+            }
+            rest = &rest[open + 1 + len + 1..];
+        }
+    }
+    out
+}
+
+/// Parses the unsigned integer starting at the first digit at or after
+/// `from`, provided only `: ` / whitespace separates it.
+fn version_after(text: &str, from: usize) -> Option<u64> {
+    let tail = text[from..]
+        .trim_start_matches(|c: char| c == ':' || c == '`' || c.is_whitespace())
+        .trim_start_matches(|c: char| c == '=' || c.is_whitespace());
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn check_file(path: &std::path::Path, failures: &mut Vec<String>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let name = path.file_name().unwrap().to_string_lossy().to_string();
+    let in_docs = path.parent().is_some_and(|p| p.ends_with("docs"));
+
+    // 1. Every mentioned flag must exist.
+    for flag in flag_tokens(&text) {
+        let known = USAGE.contains(&flag) || EXTERNAL_FLAGS.contains(&flag.as_str());
+        if !known {
+            failures.push(format!(
+                "{name}: flag `{flag}` is not advertised by the aceso binary \
+                 (aceso::cli::USAGE) and is not an allowlisted external flag"
+            ));
+        }
+    }
+
+    // 2. Table-row schema tokens must be registered (docs/ only — README
+    // tables describe repo layout, not the schema).
+    if in_docs {
+        for token in table_row_tokens(&text) {
+            let registered = COUNTERS.iter().any(|(n, _)| *n == token)
+                || HISTOGRAMS.iter().any(|(n, _, _)| *n == token)
+                || EVENTS
+                    .iter()
+                    .any(|spec| spec.kind == token || spec.fields.iter().any(|f| f.name == token))
+                || STRUCTURAL_TOKENS.contains(&token.as_str());
+            if !registered {
+                failures.push(format!(
+                    "{name}: table row mentions `{token}`, which is not a \
+                     registered counter/event/field/histogram (aceso::obs::schema) \
+                     or allowlisted structural token"
+                ));
+            }
+        }
+    }
+
+    // 3. Stated schema versions must be current.
+    let lower = text.to_lowercase();
+    let mut i = 0;
+    while let Some(pos) = lower[i..].find("schema version") {
+        let at = i + pos;
+        i = at + "schema version".len();
+        let Some(stated) = version_after(&lower, i) else {
+            continue; // prose like "schema version history"
+        };
+        let is_checkpoint = lower[..at].trim_end().ends_with("checkpoint");
+        let expected = if is_checkpoint {
+            CHECKPOINT_SCHEMA_VERSION
+        } else {
+            SCHEMA_VERSION
+        };
+        if stated != expected {
+            failures.push(format!(
+                "{name}: states {} schema version {stated}, but the current \
+                 version is {expected}",
+                if is_checkpoint {
+                    "checkpoint"
+                } else {
+                    "observability"
+                }
+            ));
+        }
+    }
+}
+
+fn main() {
+    let mut failures = Vec::new();
+    let paths = doc_paths();
+    for path in &paths {
+        check_file(path, &mut failures);
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("doc_check: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "doc_check: OK ({} files; flags vs USAGE, table tokens vs obs::schema, \
+         schema versions vs code)",
+        paths.len()
+    );
+}

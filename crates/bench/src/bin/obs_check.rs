@@ -234,13 +234,15 @@ fn main() {
             // median-latency run of GATE_RUNS: a single run's mean is
             // hostage to machine load, and the fastest run would commit
             // an unrepeatable floor as the next baseline.
+            let opts = SearchOptions {
+                max_iterations: 24,
+                ..SearchOptions::default()
+            };
+            let threads = opts.resolved_threads();
             let mut runs: Vec<(SearchResult, ObsReport, f64)> = Vec::with_capacity(GATE_RUNS);
             for run in 0..GATE_RUNS {
                 let (result, report) = env
-                    .run_aceso_observed(SearchOptions {
-                        max_iterations: 24,
-                        ..SearchOptions::default()
-                    })
+                    .run_aceso_observed(opts.clone())
                     .unwrap_or_else(|e| fail(&format!("search failed: {e}")));
                 let mean = run_mean_latency_us(&report);
                 println!(
@@ -251,7 +253,7 @@ fn main() {
             }
             runs.sort_by(|a, b| a.2.total_cmp(&b.2));
             let (result, report, _) = runs.swap_remove(runs.len() / 2);
-            let path = write_bench_search(&result, &report);
+            let path = write_bench_search(&result, &report, threads);
             let doc = Value::parse(&read(&path.display().to_string()))
                 .unwrap_or_else(|e| fail(&format!("BENCH_search.json: unparseable: {e:?}")));
             let metrics = doc

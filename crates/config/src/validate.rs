@@ -14,29 +14,76 @@ pub enum ConfigError {
     /// No stages.
     NoStages,
     /// Stage op ranges do not exactly partition `[0, model.len())`.
-    BadOpPartition { stage: usize },
+    BadOpPartition {
+        /// Index of the offending stage.
+        stage: usize,
+    },
     /// A stage has an empty op range.
-    EmptyStage { stage: usize },
+    EmptyStage {
+        /// Index of the offending stage.
+        stage: usize,
+    },
     /// Per-op settings length mismatch.
-    OpsLenMismatch { stage: usize },
+    OpsLenMismatch {
+        /// Index of the offending stage.
+        stage: usize,
+    },
     /// `tp · dp` of an op differs from the stage's GPU count.
-    GpuMismatch { stage: usize, op: usize },
+    GpuMismatch {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Op index within the stage.
+        op: usize,
+    },
     /// tp or dp is not a power of two (paper §5.1 restriction).
-    NotPowerOfTwo { stage: usize, op: usize },
+    NotPowerOfTwo {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Op index within the stage.
+        op: usize,
+    },
     /// tp exceeds the operator's divisibility limit.
-    TpOverLimit { stage: usize, op: usize },
+    TpOverLimit {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Op index within the stage.
+        op: usize,
+    },
     /// An op references a partition dim the operator does not define.
-    BadDimIndex { stage: usize, op: usize },
+    BadDimIndex {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Op index within the stage.
+        op: usize,
+    },
     /// Stage GPU counts do not sum to the cluster size.
-    ClusterSizeMismatch { got: usize, want: usize },
+    ClusterSizeMismatch {
+        /// GPUs the configuration's stages sum to.
+        got: usize,
+        /// GPUs the cluster actually has.
+        want: usize,
+    },
     /// Microbatch size is zero, exceeds the batch, or does not divide it.
-    BadMicrobatch { microbatch: usize },
+    BadMicrobatch {
+        /// The rejected microbatch size.
+        microbatch: usize,
+    },
     /// An op's data-parallel degree does not divide the microbatch.
-    DpNotDividingMicrobatch { stage: usize, op: usize },
+    DpNotDividingMicrobatch {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Op index within the stage.
+        op: usize,
+    },
     /// ZeRO-1 optimiser sharding enabled on an op whose data-parallel
     /// group is a singleton (`dp == 1`) — there is nothing to shard over,
     /// and the extra parameter all-gather would be pure overhead.
-    ZeroWithoutDp { stage: usize, op: usize },
+    ZeroWithoutDp {
+        /// Index of the offending stage.
+        stage: usize,
+        /// Op index within the stage.
+        op: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {

@@ -39,7 +39,14 @@ use aceso_util::FnvHasher;
 /// Version of the checkpoint wire format. Bumped on any change to the
 /// JSON shape; a daemon that finds a checkpoint with an unknown version
 /// runs a fresh search instead of guessing.
-pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 was the original format; v2 added the informational
+/// `search_threads` field (the resolved frontier worker count at pause
+/// time — never compared on resume, a checkpoint may be resumed at any
+/// worker count) and widened the checkpointed counter set to include
+/// `search_worker_batches` (deterministic) — `search_steals` is
+/// scheduling-dependent and deliberately never enters a checkpoint.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 2;
 
 /// Stable fingerprint of a model's profile-relevant content: the
 /// sequence of operator signatures (order-sensitively hashed — op order
@@ -68,9 +75,12 @@ pub fn cluster_fingerprint(cluster: &ClusterSpec) -> u64 {
 }
 
 /// Stable fingerprint of every [`SearchOptions`] field that affects the
-/// deterministic result. `time_budget` and `parallel` are deliberately
-/// excluded: neither changes what an unexpired search computes, and a
-/// resumed search must be allowed a fresh wall-clock budget.
+/// deterministic result. `time_budget`, `parallel`, and
+/// `search_threads` are deliberately excluded: none of them changes
+/// what an unexpired search computes (frontier results are bit-identical
+/// at every worker count), a resumed search must be allowed a fresh
+/// wall-clock budget, and a checkpoint taken at one worker count must
+/// resume cleanly at another.
 pub fn options_fingerprint(o: &SearchOptions) -> u64 {
     let mut h = FnvHasher::new();
     h.write_usize(o.max_hops);
@@ -284,6 +294,12 @@ pub struct SearchCheckpoint {
     /// Wall-clock seconds consumed by previous slices, as `f64::to_bits`
     /// (accumulated into the final `wall_time`).
     pub elapsed_secs_bits: u64,
+    /// Resolved frontier worker count when the checkpoint was taken.
+    /// **Informational only**: results are worker-count independent, so
+    /// this is never part of any fingerprint, never compared on resume
+    /// (a checkpoint may be resumed at a different worker count), and
+    /// masked by checkpoint-byte determinism comparisons.
+    pub search_threads: u64,
     /// Events emitted before any stage ran (the `search_start` record).
     pub head_events: Vec<Event>,
     /// Per-stage-count checkpoints, sorted by stage count.
@@ -334,6 +350,7 @@ impl SearchCheckpoint {
             ("options_fingerprint", Value::UInt(self.options_fingerprint)),
             ("metrics", Value::Bool(self.metrics)),
             ("elapsed_secs_bits", Value::UInt(self.elapsed_secs_bits)),
+            ("search_threads", Value::UInt(self.search_threads)),
             ("head_events", events_to_json(&self.head_events)),
             (
                 "stages",
@@ -362,6 +379,7 @@ impl SearchCheckpoint {
             options_fingerprint: v.field("options_fingerprint")?.as_u64()?,
             metrics: v.field("metrics")?.as_bool()?,
             elapsed_secs_bits: v.field("elapsed_secs_bits")?.as_u64()?,
+            search_threads: v.field("search_threads")?.as_u64()?,
             head_events: events_from_json(v.field("head_events")?)?,
             stages,
         })
@@ -815,6 +833,14 @@ mod tests {
             ..SearchOptions::default()
         };
         assert_eq!(same, options_fingerprint(&budgeted));
+        // The frontier worker count never affects results, so it must
+        // not affect the fingerprint either: a checkpoint taken at one
+        // worker count resumes at any other.
+        let threaded = SearchOptions {
+            search_threads: 8,
+            ..SearchOptions::default()
+        };
+        assert_eq!(same, options_fingerprint(&threaded));
     }
 
     #[test]
@@ -902,7 +928,7 @@ mod tests {
 
     #[test]
     fn truncated_json_is_a_json_error() {
-        let text = r#"{"schema_version":1,"model_fingerprint":12,"#;
+        let text = r#"{"schema_version":2,"model_fingerprint":12,"#;
         match SearchCheckpoint::from_json_str(text) {
             Err(CheckpointError::Json(_)) => {}
             other => panic!("expected Json error, got {other:?}"),

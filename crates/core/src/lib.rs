@@ -11,11 +11,12 @@
 //! polishes each accepted configuration, and independent pipeline stage
 //! counts are searched on parallel threads (§4.3).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bottleneck;
 pub mod checkpoint;
 pub mod finetune;
+pub(crate) mod frontier;
 pub mod invariants;
 pub mod primitives;
 pub mod search;

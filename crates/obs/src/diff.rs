@@ -25,7 +25,9 @@ impl std::fmt::Display for DiffError {
             DiffError::SchemaMismatch(a, b) => write!(
                 f,
                 "schema_version mismatch: {a} vs {b} — counters may have \
-                 changed meaning between versions; refusing to diff"
+                 changed meaning between versions; refusing to diff. See \
+                 the \"Schema history\" notes in docs/OBSERVABILITY.md \
+                 for what changed in each version"
             ),
             DiffError::Malformed(msg) => write!(f, "malformed metrics snapshot: {msg}"),
         }

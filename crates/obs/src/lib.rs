@@ -33,7 +33,7 @@
 //! documented public contract: see `docs/OBSERVABILITY.md`, which is
 //! cross-checked against [`schema`]'s registry by tests in this crate.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod diff;
 pub mod event;
@@ -47,4 +47,4 @@ pub use event::Event;
 pub use metrics::{Counter, HistKind, Histogram, Metrics};
 pub use recorder::Recorder;
 pub use report::ObsReport;
-pub use schema::{EventSpec, FieldSpec, SCHEMA_VERSION};
+pub use schema::{EventSpec, FieldSpec, NONDETERMINISTIC_COUNTERS, SCHEMA_VERSION};

@@ -64,11 +64,22 @@ pub enum Counter {
     /// Resubmissions of an already-spooled request id observed by the
     /// serve daemon (client-side retries after a crash or disconnect).
     ClientRetries,
+    /// Candidate batches (one per generation task) consumed by the
+    /// frontier reducer's ordinal merge. Deterministic: the merge
+    /// consumes batches in canonical serial order regardless of worker
+    /// count, so two runs with the same seed agree even at different
+    /// `--search-threads`.
+    SearchWorkerBatches,
+    /// Tasks a frontier worker stole from another worker's deque.
+    /// **Scheduling-dependent** — the one intentionally non-deterministic
+    /// counter (see [`crate::schema::NONDETERMINISTIC_COUNTERS`]); every
+    /// bit-identity comparison masks it, and it is never checkpointed.
+    SearchSteals,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 24] = [
         Counter::PerfEvaluations,
         Counter::PerfIncrementalHits,
         Counter::PerfFullEvals,
@@ -91,6 +102,8 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::SearchResumed,
         Counter::ClientRetries,
+        Counter::SearchWorkerBatches,
+        Counter::SearchSteals,
     ];
 
     /// The counter's snapshot-key name.
@@ -118,6 +131,8 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::SearchResumed => "search_resumed",
             Counter::ClientRetries => "client_retries",
+            Counter::SearchWorkerBatches => "search_worker_batches",
+            Counter::SearchSteals => "search_steals",
         }
     }
 }

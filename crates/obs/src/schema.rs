@@ -30,7 +30,16 @@
 /// snapshot (static-verifier findings by audit rule, mirroring the
 /// shape of `primitives_applied`; stays empty outside `aceso audit`
 /// runs).
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: the work-stealing frontier counters were added.
+/// `search_worker_batches` (candidate batches consumed by the frontier
+/// reducer's ordinal merge) is deterministic and worker-count
+/// independent; `search_steals` (tasks stolen between worker deques) is
+/// scheduling-dependent and listed in [`NONDETERMINISTIC_COUNTERS`], so
+/// bit-identity comparisons mask it. Both stay zero in single-threaded
+/// runs except `search_worker_batches`, which counts the same batches
+/// the serial path consumes.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]
@@ -261,7 +270,24 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "client_retries",
         "resubmissions of an already-spooled request id (client retries)",
     ),
+    (
+        "search_worker_batches",
+        "candidate batches consumed by the frontier reducer's ordinal merge",
+    ),
+    (
+        "search_steals",
+        "frontier tasks stolen between worker deques (scheduling-dependent)",
+    ),
 ];
+
+/// Counters whose values legitimately vary between runs with identical
+/// seeds and options — currently only the work-stealing steal count,
+/// which depends on OS scheduling. Every bit-identity comparison
+/// (goldens, checkpoint-resume equality, the worker-count determinism
+/// sweep) masks these names, and the search never includes them in a
+/// checkpoint. Everything else in [`COUNTERS`] is covered by the
+/// determinism contract.
+pub const NONDETERMINISTIC_COUNTERS: &[&str] = &["search_steals"];
 
 /// Every histogram name with its unit and description, in snapshot
 /// order.
@@ -328,6 +354,16 @@ mod tests {
         assert_eq!(HISTOGRAMS.len(), HistKind::ALL.len());
         for (h, (name, _, _)) in HistKind::ALL.iter().zip(HISTOGRAMS) {
             assert_eq!(h.name(), *name);
+        }
+    }
+
+    #[test]
+    fn nondeterministic_counters_are_registered_counters() {
+        for name in NONDETERMINISTIC_COUNTERS {
+            assert!(
+                COUNTERS.iter().any(|(n, _)| n == name),
+                "`{name}` is listed as non-deterministic but is not a registered counter"
+            );
         }
     }
 

@@ -11,7 +11,7 @@
 //! accuracy, only a faithful *ordering* of configurations and a resource
 //! breakdown to identify bottlenecks — the same stance the paper takes.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cached;
 pub mod estimate;
@@ -19,7 +19,7 @@ pub mod grid;
 pub mod model;
 pub mod p2p;
 
-pub use cached::{CachedEvaluator, Evaluator, MemoEntry};
+pub use cached::{CachedEvaluator, EvalTrace, Evaluator, MemoEntry, TracingEvaluator};
 pub use estimate::{ConfigEstimate, StageEstimate};
 pub use grid::LatencyGrid;
 pub use model::PerfModel;

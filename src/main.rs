@@ -11,6 +11,7 @@
 //! cross-request profile cache; `aceso submit` talks to it; `aceso
 //! obs-diff` compares two metric snapshots.
 
+use aceso::cli::USAGE;
 use aceso::model::zoo;
 use aceso::obs::{ObsReport, Recorder};
 use aceso::prelude::*;
@@ -35,100 +36,8 @@ struct Args {
     checkpoint: Option<String>,
     resume: Option<String>,
     checkpoint_every: usize,
+    search_threads: usize,
 }
-
-const USAGE: &str = "\
-usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
-             [--zero] [--plan-out FILE] [--metrics-out FILE]
-             [--events-out FILE] [--no-metrics] [--checkpoint FILE]
-             [--resume FILE] [--checkpoint-every I]
-       aceso audit [--smoke] [--full] [--json FILE] [--epsilon E]
-             [--mutate M] [--metrics-out FILE]
-       aceso serve [--addr HOST:PORT] [--workers N] [--cache-mb M]
-             [--max-budget-secs S] [--max-gpus N] [--max-iterations I]
-             [--max-deepnet-layers L] [--io-timeout-secs S]
-             [--spool-dir DIR] [--checkpoint-every I]
-             [--spool-ttl-secs S]
-       aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
-             [--zero] [--iterations I] [--budget-secs S] [--seed K]
-             [--request-id ID] [--retries N] [--plan-out FILE]
-             [--metrics-out FILE] [--events-out FILE]
-             | --stats | --shutdown)
-       aceso obs-diff A.json B.json
-
-models: gpt3-{0.35b,1.3b,2.6b,6.7b,13b}, t5-{0.77b,3b,6b,11b,22b},
-        wresnet-{0.5b,2b,4b,6.8b,13b}, deepnet-<layers>l
-flags:
-  --gpus N          simulated V100 count (default 8; ≤8 per node)
-  --budget-secs S   search wall-clock budget (default 30)
-  --stages P        pin the pipeline stage count (default: search 1..)
-  --zero            enable the ZeRO-1 extension primitives
-  --plan-out FILE   write the per-rank execution plan as JSON
-  --metrics-out FILE  write the metric snapshot as JSON (see
-                      docs/OBSERVABILITY.md for the schema)
-  --events-out FILE   write the structured event stream as JSONL
-  --no-metrics      disable observability entirely (skips the summary
-                    table; conflicts with --metrics-out/--events-out)
-  --checkpoint FILE   periodically write a resumable search checkpoint
-                      (atomic JSON snapshot; removed on completion)
-  --resume FILE       resume a search from a checkpoint; an unusable or
-                      incompatible checkpoint warns and searches fresh
-  --checkpoint-every I  iterations between checkpoints (default 32)
-
-audit: run the static invariant analyzers (primitive signatures,
-transform validity, perf-model consistency, search-trace replay) over
-the model-zoo corpus; exits non-zero if any finding is reported
-  --smoke           audit a single small model (fast CI check); includes
-                    the whole-system analyzers at reduced depth
-  --full            also run the whole-system analyzers at full depth:
-                    plan-safety proofs, protocol state-machine checking,
-                    lock-order deadlock analysis (docs/ANALYSIS.md)
-  --json FILE       also write the findings report as JSON
-  --epsilon E       float comparison tolerance (default 1e-9)
-  --mutate M        seed a bug injection for the mutation gates; the run
-                    must exit 1 with the matching finding (one of:
-                    mem-bound, reorder-frame, swap-lock-pair)
-  --metrics-out FILE  write an observability metric snapshot with the
-                    per-rule `audit_findings` counter family
-
-serve: run the search daemon (wire contract in docs/SERVER.md)
-  --addr HOST:PORT  listen address (default 127.0.0.1:7100; port 0 picks
-                    an ephemeral port, printed as `listening on ...`)
-  --workers N       max concurrent searches, excess rejected (default 4)
-  --cache-mb M      profile-cache byte budget in MiB (default 256)
-  --max-budget-secs S  reject requests with a larger wall-clock budget
-                    (default 600; 0 = unlimited)
-  --max-gpus N      reject requests simulating more GPUs (default 256;
-                    0 = unlimited)
-  --max-iterations I  reject requests with a larger per-stage-count
-                    iteration budget (default 10000; 0 = unlimited)
-  --max-deepnet-layers L  reject deeper deepnet-<N>l requests before the
-                    graph is built (default 1024; 0 = unlimited)
-  --io-timeout-secs S  per-connection read/write deadline; stalled peers
-                    get a typed `timeout` error (default 30; 0 = none)
-  --spool-dir DIR   spool per-request-id search checkpoints here so a
-                    resubmitted request resumes after a crash or dropped
-                    connection (docs/SERVER.md; default: no spooling)
-  --checkpoint-every I  iterations between checkpoint spools (default 8)
-  --spool-ttl-secs S  prune spooled checkpoints older than S seconds at
-                    startup and periodically while serving (default: no
-                    pruning; reclaims spools abandoned by crashed or
-                    never-resubmitted requests)
-
-submit: send one search to a daemon and collect the streamed response
-  --iterations I    per-stage-count iteration budget (default 48); the
-                    deterministic budget — results are reproducible when
-                    no --budget-secs is given
-  --seed K          search RNG seed (default 0xACE50)
-  --request-id ID   idempotency key: lets a --spool-dir daemon resume
-                    this search if it is interrupted and resubmitted
-  --retries N       retry transient failures (busy, timeout, dropped
-                    connection) up to N times with jittered backoff
-  --stats           print the daemon's server-level metric snapshot
-  --shutdown        ask the daemon to drain in-flight work and exit
-
-obs-diff: print counter deltas and histogram shifts between two metric
-snapshots; exits 2 when the snapshots disagree on schema_version";
 
 /// Runs `aceso audit` and exits: 0 when clean, 1 on findings, 2 on bad
 /// usage.
@@ -331,6 +240,11 @@ fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
                     .map(|s| req.seed = s)
                     .map_err(|e| format!("--seed: {e}"))
             }),
+            "--search-threads" => value("--search-threads").and_then(|v| {
+                v.parse()
+                    .map(|n| req.search_threads = n)
+                    .map_err(|e| format!("--search-threads: {e}"))
+            }),
             "--request-id" => value("--request-id").map(|v| req.request_id = Some(v)),
             "--retries" => value("--retries").and_then(|v| {
                 v.parse()
@@ -497,6 +411,7 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
         checkpoint: None,
         resume: None,
         checkpoint_every: 32,
+        search_threads: 0,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -531,6 +446,11 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
                     .parse::<usize>()
                     .map_err(|e| format!("--checkpoint-every: {e}"))?
                     .max(1)
+            }
+            "--search-threads" => {
+                args.search_threads = value("--search-threads")?
+                    .parse()
+                    .map_err(|e| format!("--search-threads: {e}"))?
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -707,6 +627,7 @@ fn main() {
         max_iterations: 10_000,
         time_budget: Some(Duration::from_secs(args.budget_secs)),
         stage_counts: args.stages.map(|p| vec![p]),
+        search_threads: args.search_threads,
         ..SearchOptions::default()
     };
     options.gen_options.enable_zero = args.zero;

@@ -3,7 +3,7 @@
 //! counter consistency invariant, and equivalence of observed vs
 //! unobserved searches.
 
-use aceso::obs::{Counter, Recorder, SCHEMA_VERSION};
+use aceso::obs::{Counter, Recorder, NONDETERMINISTIC_COUNTERS, SCHEMA_VERSION};
 use aceso::prelude::*;
 use aceso::search::SearchOptions;
 use aceso::serve::{Request, ServeOptions, Server};
@@ -41,6 +41,12 @@ fn identical_searches_emit_byte_identical_event_streams() {
     assert_eq!(res_a.best_time, res_b.best_time);
     assert_eq!(obs_a.events_jsonl(), obs_b.events_jsonl());
     for c in Counter::ALL {
+        // Counters in NONDETERMINISTIC_COUNTERS (e.g. `search_steals`)
+        // depend on thread scheduling when ACESO_SEARCH_THREADS > 1 and
+        // are exempt from the determinism contract by design.
+        if NONDETERMINISTIC_COUNTERS.contains(&c.name()) {
+            continue;
+        }
         assert_eq!(
             obs_a.counter(c),
             obs_b.counter(c),
@@ -239,6 +245,14 @@ fn no_counter_is_silently_dead() {
 
     obs.absorb(rec);
     for c in Counter::ALL {
+        // Scheduling-dependent counters only move when the work-stealing
+        // frontier pool actually steals, which a single-threaded scenario
+        // suite cannot force. Their wiring is proven by the deterministic
+        // pool unit test `steal_on_empty_is_exercised_and_counted` in
+        // `crates/core/src/frontier.rs`.
+        if NONDETERMINISTIC_COUNTERS.contains(&c.name()) {
+            continue;
+        }
         assert!(
             obs.counter(c) + server_report.counter(c) > 0,
             "counter `{}` stayed zero across the scenario suite — it is \

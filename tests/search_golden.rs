@@ -19,7 +19,7 @@
 
 use aceso::cluster::ClusterSpec;
 use aceso::model::{zoo, ModelGraph};
-use aceso::obs::{Counter, ObsReport};
+use aceso::obs::{Counter, ObsReport, NONDETERMINISTIC_COUNTERS};
 use aceso::profile::ProfileDb;
 use aceso::search::{AcesoSearch, SearchOptions};
 use aceso::util::json::{obj, Value};
@@ -81,8 +81,12 @@ fn observe(label: &str, model: &ModelGraph, cluster: &ClusterSpec) -> Observed {
         fingerprint: result.best_config.semantic_hash(),
         best_time: result.best_time,
         explored: result.explored as u64,
+        // Scheduling-dependent counters (`search_steals`) are excluded:
+        // the golden contract covers only values that are reproducible
+        // bit-for-bit at any `ACESO_SEARCH_THREADS` setting.
         counters: Counter::ALL
             .iter()
+            .filter(|c| !NONDETERMINISTIC_COUNTERS.contains(&c.name()))
             .map(|&c| (c.name(), report.counter(c)))
             .collect(),
     }
@@ -227,4 +231,59 @@ fn golden_counters_match() {
         "observability counters diverged from golden:\n{}",
         failures.join("\n")
     );
+}
+
+/// The work-stealing frontier pool must be invisible in every golden
+/// output: running the same seeded search at 1, 2, 4 and 8 workers
+/// yields the same best fingerprint, the same f64-bit best time, the
+/// same explored count, the same deterministic counters and a
+/// byte-identical event stream (docs/SEARCH.md, INV-ORDINAL).
+#[test]
+fn golden_outputs_are_identical_across_worker_counts() {
+    let (label, model, cluster) = cases().remove(0);
+    let db = ProfileDb::build(&model, &cluster);
+    let run = |threads: usize| {
+        let opts = SearchOptions {
+            search_threads: threads,
+            ..golden_opts()
+        };
+        AcesoSearch::new(&model, &cluster, &db, opts)
+            .run_observed(true)
+            .unwrap_or_else(|e| panic!("{label} @ {threads} workers: search failed: {e}"))
+    };
+
+    let (ref_result, ref_report) = run(1);
+    for threads in [2, 4, 8] {
+        let (result, report) = run(threads);
+        assert_eq!(
+            ref_result.best_config.semantic_hash(),
+            result.best_config.semantic_hash(),
+            "{label}: best fingerprint drifted at {threads} workers"
+        );
+        assert_eq!(
+            ref_result.best_time.to_bits(),
+            result.best_time.to_bits(),
+            "{label}: best time drifted at {threads} workers"
+        );
+        assert_eq!(
+            ref_result.explored, result.explored,
+            "{label}: explored count drifted at {threads} workers"
+        );
+        assert_eq!(
+            ref_report.events_jsonl(),
+            report.events_jsonl(),
+            "{label}: event stream drifted at {threads} workers"
+        );
+        for c in Counter::ALL {
+            if NONDETERMINISTIC_COUNTERS.contains(&c.name()) {
+                continue;
+            }
+            assert_eq!(
+                ref_report.counter(c),
+                report.counter(c),
+                "{label}: counter {} drifted at {threads} workers",
+                c.name()
+            );
+        }
+    }
 }

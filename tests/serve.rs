@@ -9,7 +9,7 @@
 
 use aceso::obs::Counter;
 use aceso::prelude::*;
-use aceso::search::SearchStep;
+use aceso::search::{SearchStep, CHECKPOINT_SCHEMA_VERSION};
 use aceso::serve::{self, ClientError, FaultProxy, Request, Response, ServeOptions, Server};
 use aceso::serve::{read_frame, spool_path, write_frame, WireError, MAX_FRAME_BYTES};
 use aceso::util::json::{obj, Value};
@@ -551,9 +551,15 @@ fn bad_spools_degrade_to_fresh_runs() {
     let SearchStep::Paused(ckpt) = search.run_partial(true, 2).expect("partial run") else {
         panic!("must pause at bound 2");
     };
-    let future =
-        ckpt.to_json_string()
-            .replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+    let future = ckpt.to_json_string().replacen(
+        &format!("\"schema_version\":{CHECKPOINT_SCHEMA_VERSION}"),
+        "\"schema_version\":999",
+        1,
+    );
+    assert!(
+        future.contains("\"schema_version\":999"),
+        "failed to forge a future-version checkpoint"
+    );
     std::fs::write(spool_path(&spool, "future-job"), future).unwrap();
 
     let (addr, handle) = start(ServeOptions {
