@@ -181,6 +181,96 @@ wait "$CRASH_PID"
 trap - EXIT
 rm -rf "$CRASH_TMP"
 
+echo "==> reactor smoke: drain under load, then SIGKILL-mid-pipeline recovery"
+REACT_TMP=$(mktemp -d)
+REACT_PID=""
+trap 'kill -9 "$REACT_PID" 2>/dev/null || :; rm -rf "$REACT_TMP"' EXIT
+# Drain under load: shut the reactor down while a request is in
+# flight — the daemon must finish the in-flight search, deliver its
+# result, and only then report a clean drain (docs/SERVER.md).
+target/release/aceso serve --addr 127.0.0.1:0 --workers 2 --reactor \
+    >"$REACT_TMP/serve.log" &
+REACT_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$REACT_TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "reactor daemon never reported its address"; exit 1; }
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 24 \
+    --events-out "$REACT_TMP/drain-events.jsonl" >/dev/null &
+SUBMIT_PID=$!
+sleep 0.3
+target/release/aceso submit --addr "$ADDR" --shutdown >/dev/null
+wait "$SUBMIT_PID" || { echo "in-flight request lost during drain"; exit 1; }
+[ -s "$REACT_TMP/drain-events.jsonl" ] || {
+    echo "drained request returned no events"; exit 1; }
+wait "$REACT_PID"
+grep -q "daemon drained" "$REACT_TMP/serve.log" || {
+    echo "reactor daemon did not drain cleanly"; exit 1; }
+# SIGKILL mid-pipeline: same crash-recovery contract as the blocking
+# front-end, but through the reactor's event loop and spool markers.
+target/release/aceso serve --addr 127.0.0.1:0 --workers 2 --reactor \
+    --spool-dir "$REACT_TMP/spool" --checkpoint-every 2 \
+    >"$REACT_TMP/serve2.log" &
+REACT_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$REACT_TMP/serve2.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "reactor crash daemon never reported its address"; exit 1; }
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 24 \
+    --events-out "$REACT_TMP/ref-events.jsonl" >/dev/null
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 24 --request-id ci-reactor-crash \
+    >/dev/null 2>&1 &
+SUBMIT_PID=$!
+SPOOL=""
+for _ in $(seq 1 100); do
+    SPOOL=$(find "$REACT_TMP/spool" -name 'ci-reactor-crash-*.ckpt' 2>/dev/null | head -n 1)
+    [ -n "$SPOOL" ] && break
+    sleep 0.05
+done
+[ -n "$SPOOL" ] || { echo "no checkpoint spool appeared before the search finished"; exit 1; }
+kill -9 "$REACT_PID"
+wait "$SUBMIT_PID" 2>/dev/null || :  # the client lost its daemon — expected
+target/release/aceso serve --addr 127.0.0.1:0 --workers 2 --reactor \
+    --spool-dir "$REACT_TMP/spool" --checkpoint-every 2 \
+    >"$REACT_TMP/serve3.log" &
+REACT_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$REACT_TMP/serve3.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted reactor daemon never reported its address"; exit 1; }
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 24 --request-id ci-reactor-crash \
+    --retries 3 --events-out "$REACT_TMP/crash-events.jsonl" >/dev/null
+cmp "$REACT_TMP/ref-events.jsonl" "$REACT_TMP/crash-events.jsonl" || {
+    echo "reactor resumed event stream diverged from the reference"; exit 1; }
+target/release/aceso submit --addr "$ADDR" --stats >"$REACT_TMP/stats.json"
+grep -q '"search_resumed": *1' "$REACT_TMP/stats.json" || {
+    echo "restarted reactor daemon did not count the resume"; exit 1; }
+target/release/aceso submit --addr "$ADDR" --shutdown >/dev/null
+wait "$REACT_PID"
+trap - EXIT
+rm -rf "$REACT_TMP"
+
+echo "==> fleet smoke: 64 mixed clients against an in-process reactor"
+FLEET_TMP=$(mktemp -d)
+cargo run --release --quiet -p aceso-bench --bin serve_bench -- \
+    fleet 64 "$FLEET_TMP/fleet.json" >/dev/null
+grep -q '"errors": 0' "$FLEET_TMP/fleet.json" || {
+    echo "fleet smoke recorded client errors"; exit 1; }
+rm -rf "$FLEET_TMP"
+
 echo "==> perf regression gate (vs committed BENCH_search.json)"
 cargo run --release --quiet -p aceso-bench --bin obs_check
 

@@ -51,9 +51,19 @@ const STRUCTURAL_TOKENS: &[&str] = &[
     "seq",
     "kind",
     "wall_time_secs",
-    // BENCH_search.json fields (docs/BENCHMARKS.md).
+    // BENCH_search.json fields and the tools that write/gate them
+    // (docs/BENCHMARKS.md).
+    "obs_check",
+    "serve_bench",
     "configs_per_sec",
+    "serve_fleet",
+    "clients",
+    "submitted",
+    "errors",
+    "p50_us",
+    "p99_us",
     // Wire-protocol frame fields (docs/SERVER.md).
+    "request_id",
     "type",
     "code",
     "phase",

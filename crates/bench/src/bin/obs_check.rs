@@ -181,6 +181,46 @@ fn perf_gate(baseline: &PerfFigures, fresh: &PerfFigures) {
     }
 }
 
+/// Gates the `serve_fleet` fan-in section (written by `serve_bench
+/// fleet` and carried across snapshot refreshes): the committed numbers
+/// must come from a fleet of at least 512 mixed clients in which every
+/// well-formed request completed, with sane percentiles.
+fn check_serve_fleet(doc: &Value) {
+    let fleet = doc.field("serve_fleet").unwrap_or_else(|e| {
+        fail(&format!(
+            "BENCH_search.json: serve_fleet section missing ({e:?}) — \
+             run `serve_bench fleet` to regenerate it"
+        ))
+    });
+    let get = |name: &str| {
+        fleet
+            .field(name)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|e| fail(&format!("serve_fleet.{name}: {e:?}")))
+    };
+    let (clients, submitted, errors) = (get("clients"), get("submitted"), get("errors"));
+    let (p50, p99) = (get("p50_us"), get("p99_us"));
+    if clients < 512 {
+        fail(&format!(
+            "serve_fleet: {clients} clients, the committed fleet must hold >= 512"
+        ));
+    }
+    if errors != 0 {
+        fail(&format!(
+            "serve_fleet: {errors} errored well-formed requests (must be 0)"
+        ));
+    }
+    if submitted == 0 || p50 == 0 || p50 > p99 {
+        fail(&format!(
+            "serve_fleet: implausible figures (submitted {submitted}, p50 {p50} µs, p99 {p99} µs)"
+        ));
+    }
+    println!(
+        "obs_check: serve_fleet: {clients} clients, {submitted} requests, \
+         0 errors, p50 {p50} µs / p99 {p99} µs -- gated"
+    );
+}
+
 /// Mean `eval_latency_us` of one observed run, read from its metric
 /// snapshot.
 fn run_mean_latency_us(report: &ObsReport) -> f64 {
@@ -260,6 +300,7 @@ fn main() {
                 .field("metrics")
                 .unwrap_or_else(|e| fail(&format!("BENCH_search.json: metrics: {e:?}")));
             check_metrics(metrics, "BENCH_search.json");
+            check_serve_fleet(&doc);
             check_events(&report.events_jsonl(), "search event stream");
             match baseline {
                 Some(b) => perf_gate(&b, &perf_figures(&doc, "fresh BENCH_search.json")),

@@ -1,30 +1,274 @@
-//! Serve-mode latency harness (not a paper experiment): measures what
-//! the cross-request profile cache buys by submitting the same job to an
-//! in-process loopback daemon cold (cache miss) and warm (cache hit),
-//! and reports end-to-end plus profiling-phase latency for both. A
-//! final spooled request (request id + `--spool-dir` checkpointing)
-//! measures what crash recovery costs on top of a warm hit. The
-//! checkpoint slices live between iterations — the per-evaluation hot
-//! path (`eval_latency_us`) is untouched — so the printed overhead is
-//! purely the pause/serialise/resume cycles, a few hundred
-//! milliseconds per checkpoint interval at default settings.
+//! Serve-mode harnesses (not paper experiments).
+//!
+//! **Latency mode** (default) measures what the cross-request profile
+//! cache buys by submitting the same job to an in-process loopback
+//! daemon cold (cache miss) and warm (cache hit), and reports
+//! end-to-end plus profiling-phase latency for both. A final spooled
+//! request (request id + `--spool-dir` checkpointing) measures what
+//! crash recovery costs on top of a warm hit. The checkpoint slices
+//! live between iterations — the per-evaluation hot path
+//! (`eval_latency_us`) is untouched — so the printed overhead is purely
+//! the pause/serialise/resume cycles.
+//!
+//! **Fleet mode** drives the `--reactor` front-end with a mixed client
+//! fleet — roughly half idle connection holders, a quarter slow-loris
+//! writers that trickle a well-formed request byte by chunk, and a
+//! quarter pipelined submitters — with SplitMix64-seeded think times,
+//! then merges `{clients, submitted, errors, p50_us, p99_us}` into the
+//! snapshot as the `serve_fleet` section (field reference in
+//! `docs/BENCHMARKS.md`; `obs_check` gates the committed numbers). Every
+//! well-formed request must complete: `errors` other than zero fails
+//! the run.
 //!
 //! ```console
 //! $ cargo run --release -p aceso-bench --bin serve_bench [model] [gpus]
+//! $ cargo run --release -p aceso-bench --bin serve_bench fleet [clients] [out.json]
 //! ```
 
-use aceso_serve::{shutdown, submit, Request, ServeOptions, Server};
+use aceso_bench::harness::{bench_search_path, merge_bench_section};
+use aceso_serve::{read_frame, shutdown, submit, submit_pipelined, Request, ServeOptions, Server};
+use aceso_util::json::{obj, ToJson, Value};
 use aceso_util::table::Table;
-use std::time::Instant;
+use aceso_util::SplitMix64;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
 
 fn main() {
-    let model = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "gpt3-2.6b".into());
-    let gpus = std::env::args()
-        .nth(2)
-        .map(|s| s.parse().expect("gpus parses"))
-        .unwrap_or(8);
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("fleet") => {
+            let clients = args
+                .next()
+                .map(|s| s.parse().expect("clients parses"))
+                .unwrap_or(512);
+            let out = args
+                .next()
+                .map(PathBuf::from)
+                .unwrap_or_else(bench_search_path);
+            run_fleet(clients, &out);
+        }
+        model => run_latency(
+            model.unwrap_or("gpt3-2.6b").to_string(),
+            std::env::args()
+                .nth(2)
+                .map(|s| s.parse().expect("gpus parses"))
+                .unwrap_or(8),
+        ),
+    }
+}
+
+/// The shared fleet request: one small model so every client hits the
+/// same profile-cache key and the measurement isolates the reactor, not
+/// repeated profiling.
+fn fleet_request(id: Option<String>) -> Request {
+    Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 2,
+        request_id: id,
+        ..Request::default()
+    }
+}
+
+/// Drives `clients` mixed clients at an in-process reactor daemon and
+/// merges the percentile summary into `out` as `serve_fleet`.
+fn run_fleet(clients: usize, out: &std::path::Path) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            reactor: true,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Warm the profile cache so fleet latencies measure fan-in, not one
+    // client paying the cold profiling cost for everyone.
+    submit(&addr, &fleet_request(None)).expect("warm-up submit succeeds");
+
+    eprintln!("driving {clients} mixed clients at reactor daemon {addr}...");
+    let t0 = Instant::now();
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let errors = Arc::new(AtomicU64::new(0));
+    let submitted = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    // All clients connect before any submits, so the daemon really holds
+    // `clients` concurrent connections while requests flow.
+    let connected = Arc::new(Barrier::new(clients));
+    let mut handles = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let (addr, latencies, errors, submitted, done, connected) = (
+            addr.clone(),
+            latencies.clone(),
+            errors.clone(),
+            submitted.clone(),
+            done.clone(),
+            connected.clone(),
+        );
+        // nproc on CI boxes can be 1 and the fleet is hundreds of
+        // threads; small stacks keep that cheap (clients only frame and
+        // parse JSON, the searches run daemon-side).
+        let handle = std::thread::Builder::new()
+            .name(format!("fleet-{i}"))
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                let mut rng = SplitMix64::new(0xF1EE7 ^ i as u64);
+                match i % 4 {
+                    // Half the fleet: idle holders. They cost the
+                    // reactor a slab slot, never a thread or a timeout —
+                    // INV-NONBLOCK holds quiet connections indefinitely.
+                    0 | 1 => {
+                        let stream = TcpStream::connect(&addr).expect("idle connect");
+                        connected.wait();
+                        while !done.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        drop(stream);
+                    }
+                    // A quarter: slow-loris writers. The request frame
+                    // is well-formed but trickles out in small chunks
+                    // with seeded think times; it must still complete.
+                    2 => {
+                        let mut stream = TcpStream::connect(&addr).expect("slow connect");
+                        connected.wait();
+                        let req = fleet_request(None);
+                        let payload = req.to_json_value().to_string_compact();
+                        let bytes = payload.as_bytes();
+                        let start = Instant::now();
+                        let mut framed = (bytes.len() as u32).to_be_bytes().to_vec();
+                        framed.extend_from_slice(bytes);
+                        let mut ok = stream.write_all(&framed[..2]).is_ok();
+                        let mut at = 2;
+                        while ok && at < framed.len() {
+                            std::thread::sleep(Duration::from_millis(1 + rng.next_u64() % 4));
+                            let end = (at + 7 + (rng.next_u64() % 9) as usize).min(framed.len());
+                            ok = stream
+                                .write_all(&framed[at..end])
+                                .and_then(|()| stream.flush())
+                                .is_ok();
+                            at = end;
+                        }
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                        if ok && read_until_result(&mut stream) {
+                            latencies
+                                .lock()
+                                .unwrap()
+                                .push(start.elapsed().as_micros() as u64);
+                        } else {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // A quarter: pipelined submitters — two tagged
+                    // requests on one connection, written back to back.
+                    _ => {
+                        connected.wait();
+                        std::thread::sleep(Duration::from_millis(rng.next_u64() % 20));
+                        let reqs = [
+                            fleet_request(Some(format!("fleet-{i}-a"))),
+                            fleet_request(Some(format!("fleet-{i}-b"))),
+                        ];
+                        let start = Instant::now();
+                        let outcome = submit_pipelined(&addr, &reqs);
+                        let elapsed = start.elapsed().as_micros() as u64;
+                        submitted.fetch_add(2, Ordering::Relaxed);
+                        match outcome {
+                            Ok(results) => {
+                                for (_, r) in results {
+                                    if r.is_ok() {
+                                        latencies.lock().unwrap().push(elapsed);
+                                    } else {
+                                        errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                errors.fetch_add(2, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("fleet thread spawns");
+        handles.push(handle);
+    }
+    // Submitting roles finish on their own; idle holders wait for them.
+    let (idle, active): (Vec<_>, Vec<_>) = handles
+        .into_iter()
+        .enumerate()
+        .partition(|(i, _)| i % 4 < 2);
+    for (_, h) in active {
+        h.join().expect("client thread survives");
+    }
+    done.store(true, Ordering::Relaxed);
+    for (_, h) in idle {
+        h.join().expect("idle thread survives");
+    }
+    let wall = t0.elapsed();
+    shutdown(&addr).expect("shutdown");
+    daemon.join().expect("daemon drains");
+
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        lat[((lat.len() - 1) as f64 * p).round() as usize]
+    };
+    let (submitted, errors) = (
+        submitted.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+    );
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let mut table = Table::new(
+        "reactor fleet fan-in: mixed idle / slow-loris / pipelined clients",
+        &["clients", "submitted", "errors", "p50", "p99", "wall"],
+    );
+    table.row(&[
+        clients.to_string(),
+        submitted.to_string(),
+        errors.to_string(),
+        format!("{p50} µs"),
+        format!("{p99} µs"),
+        format!("{wall:.2?}"),
+    ]);
+    print!("{}", table.render());
+    merge_bench_section(
+        out,
+        "serve_fleet",
+        obj([
+            ("clients", Value::UInt(clients as u64)),
+            ("submitted", Value::UInt(submitted)),
+            ("errors", Value::UInt(errors)),
+            ("p50_us", Value::UInt(p50)),
+            ("p99_us", Value::UInt(p99)),
+        ]),
+    );
+    assert_eq!(errors, 0, "every well-formed fleet request must complete");
+}
+
+/// Reads frames until the request's terminal frame; true on `result`.
+fn read_until_result(stream: &mut TcpStream) -> bool {
+    loop {
+        match read_frame(stream) {
+            Ok(frame) => match frame.get("type").and_then(|t| t.as_str().ok()) {
+                Some("result") => return true,
+                Some("error") => return false,
+                _ => continue,
+            },
+            Err(_) => return false,
+        }
+    }
+}
+
+/// The original cold/warm/spooled cache-latency comparison.
+fn run_latency(model: String, gpus: usize) {
     if aceso_model::zoo::by_name(&model).is_none() {
         eprintln!("unknown model `{model}`");
         std::process::exit(2);

@@ -156,7 +156,15 @@ pub fn write_bench_search(
     report: &ObsReport,
     search_threads: usize,
 ) -> PathBuf {
-    let doc = obj([
+    let path = bench_search_path();
+    // Sections owned by other harnesses survive the overwrite: the
+    // `serve_fleet` fan-in numbers come from `serve_bench fleet`, not
+    // from the search run this function snapshots.
+    let carried = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| Value::parse(&t).ok())
+        .and_then(|doc| doc.field("serve_fleet").ok().cloned());
+    let mut doc = obj([
         ("best_time", Value::Float(result.best_time)),
         ("explored", Value::UInt(result.explored as u64)),
         ("search_threads", Value::UInt(search_threads as u64)),
@@ -173,14 +181,43 @@ pub fn write_bench_search(
             Value::parse(&report.metrics_json()).expect("own snapshot parses"),
         ),
     ]);
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_search.json");
+    if let (Value::Object(fields), Some(fleet)) = (&mut doc, carried) {
+        fields.push(("serve_fleet".to_string(), fleet));
+    }
     let mut text = doc.to_string_pretty();
     text.push('\n');
     std::fs::write(&path, text).expect("BENCH_search.json writes");
     println!("[saved {}]", path.display());
     path
+}
+
+/// The workspace-root `BENCH_search.json` path.
+pub fn bench_search_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_search.json")
+}
+
+/// Replaces one named top-level section of a bench snapshot in place,
+/// preserving every other field (and creating the file with only that
+/// section when it does not exist yet). `serve_bench fleet` uses this to
+/// record its fan-in percentiles beside the search trajectory that
+/// [`write_bench_search`] owns.
+pub fn merge_bench_section(path: &std::path::Path, key: &str, section: Value) {
+    let mut fields = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| Value::parse(&t).ok())
+        .and_then(|doc| match doc {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        })
+        .unwrap_or_default();
+    fields.retain(|(k, _)| k != key);
+    fields.push((key.to_string(), section));
+    let mut text = Value::Object(fields).to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).expect("bench snapshot writes");
+    println!("[saved {}]", path.display());
 }
 
 /// One Exp#1 measurement row, persisted for Exp#2/8/9 and Tables 3–5.
@@ -311,5 +348,28 @@ mod tests {
     fn results_roundtrip() {
         let dir = results_dir();
         assert!(dir.exists());
+    }
+
+    #[test]
+    fn merge_bench_section_preserves_unrelated_fields() {
+        use aceso_util::json::obj;
+        let path = std::env::temp_dir().join(format!("aceso-merge-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\n  \"best_time\": 1.5,\n  \"serve_fleet\": {\"clients\": 1}\n}\n",
+        )
+        .unwrap();
+        merge_bench_section(&path, "serve_fleet", obj([("clients", Value::UInt(512))]));
+        let doc = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // The unrelated field survives; the section is replaced, not
+        // appended beside its stale copy.
+        assert_eq!(doc.field("best_time").unwrap().as_f64().unwrap(), 1.5);
+        let fleet = doc.field("serve_fleet").unwrap();
+        assert_eq!(fleet.field("clients").unwrap().as_u64().unwrap(), 512);
+        let Value::Object(fields) = &doc else {
+            panic!("object doc")
+        };
+        assert_eq!(fields.iter().filter(|(k, _)| k == "serve_fleet").count(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

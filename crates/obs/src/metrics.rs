@@ -71,15 +71,30 @@ pub enum Counter {
     /// `--search-threads`.
     SearchWorkerBatches,
     /// Tasks a frontier worker stole from another worker's deque.
-    /// **Scheduling-dependent** — the one intentionally non-deterministic
-    /// counter (see [`crate::schema::NONDETERMINISTIC_COUNTERS`]); every
+    /// **Scheduling-dependent** — intentionally non-deterministic
+    /// (see [`crate::schema::NONDETERMINISTIC_COUNTERS`]); every
     /// bit-identity comparison masks it, and it is never checkpointed.
     SearchSteals,
+    /// Connections currently open on the serve reactor, sampled at
+    /// snapshot time (a gauge rendered through the counter machinery).
+    /// **Timing-dependent** — listed in
+    /// [`crate::schema::NONDETERMINISTIC_COUNTERS`]; server-level only.
+    ServeConnectionsOpen,
+    /// Request frames that joined a connection already carrying queued
+    /// or in-flight work (pipelining). **Timing-dependent** — whether a
+    /// follow-up request counts as pipelined depends on when its
+    /// predecessor finished; server-level only.
+    ServePipelinedRequests,
+    /// Dispatch decisions where the reactor's round-robin preferred a
+    /// connection with no work in flight while another connection's
+    /// pipelined request waited (one per waiting connection).
+    /// **Scheduling-dependent**; server-level only.
+    ServeFairnessDeferrals,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::PerfEvaluations,
         Counter::PerfIncrementalHits,
         Counter::PerfFullEvals,
@@ -104,6 +119,9 @@ impl Counter {
         Counter::ClientRetries,
         Counter::SearchWorkerBatches,
         Counter::SearchSteals,
+        Counter::ServeConnectionsOpen,
+        Counter::ServePipelinedRequests,
+        Counter::ServeFairnessDeferrals,
     ];
 
     /// The counter's snapshot-key name.
@@ -133,6 +151,9 @@ impl Counter {
             Counter::ClientRetries => "client_retries",
             Counter::SearchWorkerBatches => "search_worker_batches",
             Counter::SearchSteals => "search_steals",
+            Counter::ServeConnectionsOpen => "serve_connections_open",
+            Counter::ServePipelinedRequests => "serve_pipelined_requests",
+            Counter::ServeFairnessDeferrals => "serve_fairness_deferrals",
         }
     }
 }

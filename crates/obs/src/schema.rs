@@ -39,7 +39,17 @@
 /// bit-identity comparisons mask it. Both stay zero in single-threaded
 /// runs except `search_worker_batches`, which counts the same batches
 /// the serial path consumes.
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7: the serve-reactor counters were added. `serve_connections_open`
+/// (open-connection gauge sampled at snapshot time),
+/// `serve_pipelined_requests` (requests that joined a connection already
+/// carrying work), and `serve_fairness_deferrals` (round-robin dispatch
+/// decisions that preferred an idle connection over a pipelined one)
+/// are all timing- or scheduling-dependent and listed in
+/// [`NONDETERMINISTIC_COUNTERS`]. They are server-level counters: they
+/// appear in daemon `stats` snapshots, never in per-request response
+/// metrics, so the per-request determinism contract is unaffected.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]
@@ -278,16 +288,33 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "search_steals",
         "frontier tasks stolen between worker deques (scheduling-dependent)",
     ),
+    (
+        "serve_connections_open",
+        "connections open on the serve reactor, sampled at snapshot time",
+    ),
+    (
+        "serve_pipelined_requests",
+        "requests that joined a connection already carrying queued or in-flight work",
+    ),
+    (
+        "serve_fairness_deferrals",
+        "round-robin dispatches that preferred an idle connection while a pipelined request waited",
+    ),
 ];
 
 /// Counters whose values legitimately vary between runs with identical
-/// seeds and options — currently only the work-stealing steal count,
-/// which depends on OS scheduling. Every bit-identity comparison
-/// (goldens, checkpoint-resume equality, the worker-count determinism
-/// sweep) masks these names, and the search never includes them in a
-/// checkpoint. Everything else in [`COUNTERS`] is covered by the
-/// determinism contract.
-pub const NONDETERMINISTIC_COUNTERS: &[&str] = &["search_steals"];
+/// seeds and options: the work-stealing steal count (OS scheduling) and
+/// the serve-reactor counters (connection timing and dispatch order).
+/// Every bit-identity comparison (goldens, checkpoint-resume equality,
+/// the worker-count determinism sweep) masks these names, and the
+/// search never includes them in a checkpoint. Everything else in
+/// [`COUNTERS`] is covered by the determinism contract.
+pub const NONDETERMINISTIC_COUNTERS: &[&str] = &[
+    "search_steals",
+    "serve_connections_open",
+    "serve_pipelined_requests",
+    "serve_fairness_deferrals",
+];
 
 /// Every histogram name with its unit and description, in snapshot
 /// order.

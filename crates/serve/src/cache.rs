@@ -333,6 +333,7 @@ mod tests {
     use super::*;
     use aceso_model::zoo::gpt3_custom;
     use aceso_model::Precision;
+    use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 
     fn small(name: &str, layers: usize) -> ModelGraph {
         gpt3_custom(name, layers, 256, 4, 128, 1000, 16)
@@ -479,15 +480,25 @@ mod tests {
         let m = small("a", 2);
         let c = ClusterSpec::v100(1, 2);
         let gate = std::sync::Barrier::new(2);
+        // Set inside the gated closure: once true, the builder provably
+        // holds the `Building` slot, so a waiter spawned after this
+        // point *must* coalesce. (Without the handshake, the waiter can
+        // win the race, build everything itself, and leave `waiting()`
+        // at zero forever — spinning the main thread.)
+        let started = AtomicBool::new(false);
         std::thread::scope(|s| {
             // Builder: parks inside the build until the main thread
             // releases it, holding the slot in `Building`.
             s.spawn(|| {
                 cache.get_or_build_with(&m, &c, |m, c| {
+                    started.store(true, AtomicOrdering::SeqCst);
                     gate.wait();
                     ProfileDb::build(m, c)
                 })
             });
+            while !started.load(AtomicOrdering::SeqCst) {
+                std::thread::yield_now();
+            }
             // Waiter: coalesces on the builder's slot and blocks.
             let waiter = s.spawn(|| cache.get_or_build(&m, &c));
             while cache.waiting() == 0 {
@@ -515,15 +526,23 @@ mod tests {
         let c = ClusterSpec::v100(1, 2);
 
         // Interleaving 1: waiter blocks, builder released, waiter hits.
+        // (`started` handshake: the waiter may only be spawned once the
+        // builder holds the slot, else the waiter can build first and
+        // the `waiting()` spin below never terminates.)
         let cache = ProfileCache::new(u64::MAX);
         let gate = std::sync::Barrier::new(2);
+        let started = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
                 cache.get_or_build_with(&m, &c, |m, c| {
+                    started.store(true, AtomicOrdering::SeqCst);
                     gate.wait();
                     ProfileDb::build(m, c)
                 })
             });
+            while !started.load(AtomicOrdering::SeqCst) {
+                std::thread::yield_now();
+            }
             let waiter = s.spawn(|| cache.get_or_build(&m, &c));
             while cache.waiting() == 0 {
                 std::thread::yield_now();
@@ -548,13 +567,18 @@ mod tests {
         // call returns a usable database.
         let cache = ProfileCache::new(u64::MAX);
         let gate = std::sync::Barrier::new(2);
+        let started = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
                 cache.get_or_build_with(&m, &c, |m, c| {
+                    started.store(true, AtomicOrdering::SeqCst);
                     gate.wait();
                     ProfileDb::build(m, c)
                 })
             });
+            while !started.load(AtomicOrdering::SeqCst) {
+                std::thread::yield_now();
+            }
             let w1 = s.spawn(|| cache.get_or_build(&m, &c));
             let w2 = s.spawn(|| cache.get_or_build(&m, &c));
             while cache.waiting() < 2 {

@@ -104,6 +104,36 @@ impl Response {
     }
 }
 
+/// Builds a [`Response`] from a result frame plus the statuses and
+/// events collected before it arrived.
+fn response_from_result(
+    frame: Value,
+    statuses: Vec<String>,
+    events: Vec<Value>,
+) -> Result<Response, ClientError> {
+    let cache = frame
+        .get("cache")
+        .and_then(|c| c.as_str().ok())
+        .unwrap_or("?")
+        .to_string();
+    let metrics = frame
+        .get("metrics")
+        .cloned()
+        .ok_or_else(|| ClientError::Protocol("result frame without metrics".into()))?;
+    let plan = match frame.get("plan") {
+        None | Some(Value::Null) => None,
+        Some(p) => Some(p.clone()),
+    };
+    Ok(Response {
+        cache,
+        statuses,
+        events,
+        result: frame,
+        metrics,
+        plan,
+    })
+}
+
 /// Submits one search request and blocks until the result frame.
 pub fn submit(addr: &str, req: &Request) -> Result<Response, ClientError> {
     let mut stream = TcpStream::connect(addr)?;
@@ -137,29 +167,7 @@ pub fn submit(addr: &str, req: &Request) -> Result<Response, ClientError> {
                     .ok_or_else(|| ClientError::Protocol("event frame without payload".into()))?;
                 events.push(event);
             }
-            Some("result") => {
-                let cache = frame
-                    .get("cache")
-                    .and_then(|c| c.as_str().ok())
-                    .unwrap_or("?")
-                    .to_string();
-                let metrics = frame
-                    .get("metrics")
-                    .cloned()
-                    .ok_or_else(|| ClientError::Protocol("result frame without metrics".into()))?;
-                let plan = match frame.get("plan") {
-                    None | Some(Value::Null) => None,
-                    Some(p) => Some(p.clone()),
-                };
-                return Ok(Response {
-                    cache,
-                    statuses,
-                    events,
-                    result: frame,
-                    metrics,
-                    plan,
-                });
-            }
+            Some("result") => return response_from_result(frame, statuses, events),
             Some("error") => return Err(server_error(&frame)),
             other => {
                 return Err(ClientError::Protocol(format!(
@@ -170,30 +178,238 @@ pub fn submit(addr: &str, req: &Request) -> Result<Response, ClientError> {
     }
 }
 
-/// Whether a failed submission is worth retrying: transport failures
-/// (connection refused, reset, or dropped mid-response — the daemon may
-/// be restarting) and the server's transient rejections (`rejected-busy`
-/// backpressure, a `timeout` idle cut). Typed rejections of the request
-/// itself (`bad-request`, `unknown-model`, …) will fail identically on
-/// every attempt, so they are surfaced immediately.
-fn retryable(e: &ClientError) -> bool {
-    match e {
-        ClientError::Wire(_) => true,
-        ClientError::Server { code, .. } => matches!(code.as_str(), "rejected-busy" | "timeout"),
-        ClientError::Protocol(_) => false,
+/// One request's accumulating state inside a [`PipelineCollector`].
+struct PipelineSlot {
+    id: String,
+    statuses: Vec<String>,
+    events: Vec<Value>,
+    outcome: Option<Result<Response, ClientError>>,
+}
+
+/// Routes the interleaved response frames of pipelined requests back to
+/// their owners by `request_id` tag.
+///
+/// A reactor daemon may interleave the frames of concurrently running
+/// requests on one connection, tagging every frame with its request's
+/// id (INV-PIPELINE-ORDER, `docs/SERVER.md`); the blocking daemon
+/// serves pipelined requests sequentially and untagged. The collector
+/// handles both: tagged frames route by id, untagged frames route to
+/// the earliest unfinished request. Per-request frame order is
+/// enforced the same way [`submit`] enforces it (contiguous event
+/// `seq`); cross-request order is deliberately unconstrained.
+pub struct PipelineCollector {
+    slots: Vec<PipelineSlot>,
+}
+
+impl PipelineCollector {
+    /// A collector expecting one response per id, in submission order.
+    /// Ids must be non-empty and pairwise distinct — they are the only
+    /// routing key a tagged stream offers.
+    pub fn new<I>(ids: I) -> Result<Self, ClientError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut slots: Vec<PipelineSlot> = Vec::new();
+        for id in ids {
+            if id.is_empty() {
+                return Err(ClientError::Protocol(
+                    "pipelined requests need non-empty request ids".into(),
+                ));
+            }
+            if slots.iter().any(|s| s.id == id) {
+                return Err(ClientError::Protocol(format!(
+                    "duplicate request id `{id}` cannot be routed"
+                )));
+            }
+            slots.push(PipelineSlot {
+                id,
+                statuses: Vec::new(),
+                events: Vec::new(),
+                outcome: None,
+            });
+        }
+        if slots.is_empty() {
+            return Err(ClientError::Protocol(
+                "a pipeline needs at least one request".into(),
+            ));
+        }
+        Ok(Self { slots })
+    }
+
+    /// True once every request has a result or a typed server error.
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(|s| s.outcome.is_some())
+    }
+
+    /// Accepts one inbound frame, routing it to its request. Errors are
+    /// protocol violations (unroutable frame, out-of-order event `seq`,
+    /// unknown frame type); a typed server `error` frame is *not* an
+    /// error here — it completes its own request's outcome.
+    pub fn accept(&mut self, frame: &Value) -> Result<(), ClientError> {
+        let slot = match frame.get("request_id").and_then(|v| v.as_str().ok()) {
+            Some(id) => self
+                .slots
+                .iter_mut()
+                .find(|s| s.id == id && s.outcome.is_none())
+                .ok_or_else(|| {
+                    ClientError::Protocol(format!(
+                        "frame tagged for unknown or already-finished request id `{id}`"
+                    ))
+                })?,
+            None => self
+                .slots
+                .iter_mut()
+                .find(|s| s.outcome.is_none())
+                .ok_or_else(|| {
+                    ClientError::Protocol("frame arrived after every request finished".into())
+                })?,
+        };
+        match frame.get("type").and_then(|t| t.as_str().ok()) {
+            Some("status") => {
+                let phase = frame
+                    .get("phase")
+                    .and_then(|p| p.as_str().ok())
+                    .unwrap_or("?");
+                slot.statuses.push(phase.to_string());
+            }
+            Some("event") => {
+                let seq = frame
+                    .get("seq")
+                    .and_then(|s| s.as_u64().ok())
+                    .ok_or_else(|| ClientError::Protocol("event frame without seq".into()))?;
+                if seq as usize != slot.events.len() {
+                    return Err(ClientError::Protocol(format!(
+                        "request `{}`: event seq {seq} out of order (expected {})",
+                        slot.id,
+                        slot.events.len()
+                    )));
+                }
+                let event = frame
+                    .get("event")
+                    .cloned()
+                    .ok_or_else(|| ClientError::Protocol("event frame without payload".into()))?;
+                slot.events.push(event);
+            }
+            Some("result") => {
+                let statuses = std::mem::take(&mut slot.statuses);
+                let events = std::mem::take(&mut slot.events);
+                slot.outcome = Some(response_from_result(frame.clone(), statuses, events));
+            }
+            Some("error") => slot.outcome = Some(Err(server_error(frame))),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected frame type {other:?} in a pipelined stream"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-request outcomes, in submission order. Call after
+    /// [`PipelineCollector::is_complete`]; unfinished requests yield a
+    /// `Protocol` error describing the truncation.
+    pub fn into_outcomes(self) -> Vec<(String, Result<Response, ClientError>)> {
+        self.slots
+            .into_iter()
+            .map(|s| {
+                let outcome = s.outcome.unwrap_or_else(|| {
+                    Err(ClientError::Protocol(format!(
+                        "stream ended before request `{}` finished",
+                        s.id
+                    )))
+                });
+                (s.id, outcome)
+            })
+            .collect()
     }
 }
 
-/// First retry delay; doubles per attempt up to [`RETRY_DELAY_CAP`].
+/// Per-request outcomes of a pipelined batch, in submission order:
+/// `(request_id, result)` pairs.
+pub type PipelineOutcomes = Vec<(String, Result<Response, ClientError>)>;
+
+/// Submits several requests on **one** connection without waiting for
+/// responses in between (pipelining), then collects every response.
+/// Requires each request to carry a distinct non-empty `request_id` —
+/// that tag is how a reactor daemon's interleaved responses route back.
+/// Returns per-request outcomes in submission order: a typed server
+/// rejection of one request does not disturb the others (the
+/// fault-injection tests rely on exactly that isolation).
+pub fn submit_pipelined(addr: &str, reqs: &[Request]) -> Result<PipelineOutcomes, ClientError> {
+    let ids: Vec<String> = reqs
+        .iter()
+        .map(|r| {
+            r.request_id
+                .clone()
+                .ok_or_else(|| ClientError::Protocol("pipelined requests need request ids".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut collector = PipelineCollector::new(ids)?;
+    let mut stream = TcpStream::connect(addr)?;
+    for req in reqs {
+        write_frame(&mut stream, &req.to_json_value())?;
+    }
+    while !collector.is_complete() {
+        let frame = read_frame(&mut stream)?;
+        collector.accept(&frame)?;
+    }
+    Ok(collector.into_outcomes())
+}
+
+/// How a failed submission should be retried. The two retryable classes
+/// back off on different clocks because they mean different things: a
+/// **busy** server answered — it is up, admitting, and merely deferring
+/// this request, so hammering it again quickly is cheap and correct; a
+/// **down** server (connection refused, reset, dropped mid-response)
+/// may be restarting, and patience is what lets it come back.
+/// Collapsing the two — the pre-reactor behaviour — made a client of an
+/// accepts-then-defers reactor wait seconds for a slot that frees in
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryClass {
+    /// The server answered with a transient rejection (`rejected-busy`,
+    /// a `timeout` idle cut): short backoff.
+    Busy,
+    /// The transport failed — the daemon may be down or restarting:
+    /// long backoff.
+    Down,
+    /// Typed rejections of the request itself (`bad-request`,
+    /// `unknown-model`, …) fail identically on every attempt: surface
+    /// immediately.
+    Fatal,
+}
+
+fn retry_class(e: &ClientError) -> RetryClass {
+    match e {
+        ClientError::Wire(_) => RetryClass::Down,
+        ClientError::Server { code, .. }
+            if matches!(code.as_str(), "rejected-busy" | "timeout") =>
+        {
+            RetryClass::Busy
+        }
+        ClientError::Server { .. } | ClientError::Protocol(_) => RetryClass::Fatal,
+    }
+}
+
+/// First retry delay after a busy rejection; doubles up to
+/// [`RETRY_BUSY_CAP`].
+const RETRY_BUSY_BASE: Duration = Duration::from_millis(10);
+/// Ceiling on the busy-rejection backoff delay.
+const RETRY_BUSY_CAP: Duration = Duration::from_millis(250);
+/// First retry delay after a transport failure; doubles per attempt up
+/// to [`RETRY_DELAY_CAP`].
 const RETRY_DELAY_BASE: Duration = Duration::from_millis(50);
-/// Ceiling on the exponential backoff delay.
+/// Ceiling on the transport-failure backoff delay.
 const RETRY_DELAY_CAP: Duration = Duration::from_secs(2);
 
-/// [`submit`] with bounded exponential backoff: up to `retries` extra
-/// attempts after the first, retrying transport errors and transient
-/// server rejections (wire errors, `rejected-busy`, `timeout`). Each
-/// delay doubles from 50 ms
-/// (capped at 2 s) plus up to 50 % jitter drawn from a [`SplitMix64`]
+/// [`submit`] with bounded, class-aware exponential backoff: up to
+/// `retries` extra attempts after the first. A `rejected-busy` or
+/// `timeout` answer backs off on the short clock (10 ms doubling to a
+/// 250 ms cap — the server is up and will free a slot soon); a
+/// transport failure backs off on the long clock (50 ms doubling to a
+/// 2 s cap — the daemon may be restarting). The two clocks advance
+/// independently, so alternating failures cannot inflate each other.
+/// Every delay gains up to 50 % jitter drawn from a [`SplitMix64`]
 /// seeded by the request's own search seed — deterministic for a given
 /// request, so a stampede of distinct clients still decorrelates while
 /// tests stay reproducible.
@@ -208,16 +424,29 @@ pub fn submit_with_retries(
     retries: usize,
 ) -> Result<Response, ClientError> {
     let mut rng = SplitMix64::new(req.seed ^ 0x5EED_BACC_0FF5);
-    let mut delay = RETRY_DELAY_BASE;
+    let mut busy_delay = RETRY_BUSY_BASE;
+    let mut down_delay = RETRY_DELAY_BASE;
     let mut attempt = 0usize;
     loop {
         match submit(addr, req) {
             Ok(resp) => return Ok(resp),
-            Err(e) if attempt < retries && retryable(&e) => {
+            Err(e) if attempt < retries && retry_class(&e) != RetryClass::Fatal => {
                 attempt += 1;
+                let delay = match retry_class(&e) {
+                    RetryClass::Busy => {
+                        let d = busy_delay;
+                        busy_delay = (busy_delay * 2).min(RETRY_BUSY_CAP);
+                        d
+                    }
+                    RetryClass::Down => {
+                        let d = down_delay;
+                        down_delay = (down_delay * 2).min(RETRY_DELAY_CAP);
+                        d
+                    }
+                    RetryClass::Fatal => unreachable!("guarded above"),
+                };
                 let jitter_ms = rng.next_u64() % (delay.as_millis() as u64 / 2 + 1);
                 std::thread::sleep(delay + Duration::from_millis(jitter_ms));
-                delay = (delay * 2).min(RETRY_DELAY_CAP);
             }
             Err(e) => return Err(e),
         }
@@ -268,4 +497,233 @@ fn server_error(frame: &Value) -> ClientError {
         .unwrap_or_default()
         .to_string();
     ClientError::Server { code, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{error_frame, event_frame, status_frame, tag_request_id};
+
+    fn server_err(code: &str) -> ClientError {
+        ClientError::Server {
+            code: code.into(),
+            message: String::new(),
+        }
+    }
+
+    /// The regression the reactor exposed: rejected-busy (server up,
+    /// deferring) and connection failures (server down) must land in
+    /// different backoff classes.
+    #[test]
+    fn retry_classes_split_busy_from_down() {
+        assert_eq!(retry_class(&server_err("rejected-busy")), RetryClass::Busy);
+        assert_eq!(retry_class(&server_err("timeout")), RetryClass::Busy);
+        assert_eq!(
+            retry_class(&ClientError::Wire(WireError::Closed)),
+            RetryClass::Down
+        );
+        assert_eq!(
+            retry_class(&ClientError::Wire(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "refused",
+            )))),
+            RetryClass::Down
+        );
+        for fatal in [
+            "bad-request",
+            "unknown-model",
+            "budget-too-large",
+            "shutting-down",
+        ] {
+            assert_eq!(
+                retry_class(&server_err(fatal)),
+                RetryClass::Fatal,
+                "{fatal} must not be retried"
+            );
+        }
+        assert_eq!(
+            retry_class(&ClientError::Protocol("x".into())),
+            RetryClass::Fatal
+        );
+    }
+
+    /// Regression test for the backoff split: a daemon that answers
+    /// `rejected-busy` (workers = 0) is *up*, so retries must ride the
+    /// short busy clock. Four busy retries cost at worst
+    /// 150 ms + 50 % jitter; the old unified clock cost at least 750 ms
+    /// before jitter. The 500 ms assertion cleanly separates the two.
+    #[test]
+    fn busy_rejections_back_off_on_the_short_clock() {
+        let server = crate::server::Server::bind(
+            "127.0.0.1:0",
+            crate::server::ServeOptions {
+                workers: 0,
+                ..crate::server::ServeOptions::default()
+            },
+        )
+        .expect("binds");
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let req = Request {
+            model: "gpt3-0.35b".into(),
+            gpus: 1,
+            max_iterations: 1,
+            ..Request::default()
+        };
+        let start = std::time::Instant::now();
+        let outcome = submit_with_retries(&addr, &req, 4);
+        let elapsed = start.elapsed();
+        match outcome {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, "rejected-busy"),
+            other => panic!("expected rejected-busy after retries, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "busy retries took {elapsed:?} — they are on the long (down) clock"
+        );
+        shutdown(&addr).expect("drains");
+        let _ = handle.join();
+    }
+
+    /// One request's canonical four-frame response, tagged with its id.
+    fn tagged_response(id: &str, explored: u64) -> Vec<Value> {
+        let result = obj([
+            ("type", Value::Str("result".into())),
+            ("cache", Value::Str("hit".into())),
+            ("explored", Value::UInt(explored)),
+            ("metrics", obj([("schema_version", Value::UInt(7))])),
+            ("plan", Value::Null),
+        ]);
+        vec![
+            tag_request_id(status_frame("profiling", None), id),
+            tag_request_id(status_frame("searching", Some("hit")), id),
+            tag_request_id(
+                event_frame(0, obj([("kind", Value::Str("accept".into()))])),
+                id,
+            ),
+            tag_request_id(result, id),
+        ]
+    }
+
+    /// Exhaustive two-request reorder matrix: every one of the
+    /// C(8,4) = 70 order-preserving interleavings of two tagged
+    /// four-frame responses must route identically — same statuses,
+    /// same events, same results, for both requests, regardless of how
+    /// the reactor interleaved them on the wire.
+    #[test]
+    fn every_two_request_interleaving_routes_identically() {
+        let a = tagged_response("req-a", 11);
+        let b = tagged_response("req-b", 22);
+        let mut checked = 0usize;
+        // Each interleaving is a choice of which 4 of the 8 positions
+        // carry A's frames, encoded as an 8-bit mask with 4 set bits.
+        for mask in 0u32..256 {
+            if mask.count_ones() != 4 {
+                continue;
+            }
+            let (mut ai, mut bi) = (0usize, 0usize);
+            let mut collector = PipelineCollector::new(["req-a".to_string(), "req-b".to_string()])
+                .expect("distinct ids");
+            for pos in 0..8 {
+                let frame = if mask & (1 << pos) != 0 {
+                    let f = &a[ai];
+                    ai += 1;
+                    f
+                } else {
+                    let f = &b[bi];
+                    bi += 1;
+                    f
+                };
+                collector
+                    .accept(frame)
+                    .unwrap_or_else(|e| panic!("mask {mask:08b}: routing failed: {e}"));
+            }
+            assert!(collector.is_complete(), "mask {mask:08b}: incomplete");
+            let outcomes = collector.into_outcomes();
+            assert_eq!(outcomes[0].0, "req-a");
+            assert_eq!(outcomes[1].0, "req-b");
+            let ra = outcomes[0].1.as_ref().expect("req-a succeeds");
+            let rb = outcomes[1].1.as_ref().expect("req-b succeeds");
+            assert_eq!(ra.statuses, vec!["profiling", "searching"]);
+            assert_eq!(rb.statuses, vec!["profiling", "searching"]);
+            assert_eq!(ra.events.len(), 1);
+            assert_eq!(rb.events.len(), 1);
+            assert_eq!(
+                ra.result.field("explored").unwrap().as_u64().unwrap(),
+                11,
+                "mask {mask:08b}: req-a got req-b's result"
+            );
+            assert_eq!(
+                rb.result.field("explored").unwrap().as_u64().unwrap(),
+                22,
+                "mask {mask:08b}: req-b got req-a's result"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 70, "the matrix must be exhaustive");
+    }
+
+    /// Untagged frames (a blocking daemon serving pipelined requests
+    /// sequentially) route to the earliest unfinished request.
+    #[test]
+    fn untagged_frames_route_to_the_earliest_unfinished_request() {
+        let mut collector =
+            PipelineCollector::new(["first".to_string(), "second".to_string()]).expect("ids");
+        let untagged_result = |explored: u64| {
+            obj([
+                ("type", Value::Str("result".into())),
+                ("cache", Value::Str("miss".into())),
+                ("explored", Value::UInt(explored)),
+                ("metrics", obj([("schema_version", Value::UInt(7))])),
+            ])
+        };
+        collector
+            .accept(&status_frame("profiling", None))
+            .expect("routes to first");
+        collector
+            .accept(&untagged_result(1))
+            .expect("finishes first");
+        collector
+            .accept(&status_frame("profiling", None))
+            .expect("routes to second");
+        collector
+            .accept(&untagged_result(2))
+            .expect("finishes second");
+        let outcomes = collector.into_outcomes();
+        let first = outcomes[0].1.as_ref().expect("first succeeds");
+        let second = outcomes[1].1.as_ref().expect("second succeeds");
+        assert_eq!(first.result.field("explored").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(
+            second.result.field("explored").unwrap().as_u64().unwrap(),
+            2
+        );
+    }
+
+    /// A typed server error completes its own request without
+    /// disturbing the others, and frames for finished or unknown ids
+    /// are protocol violations.
+    #[test]
+    fn error_frames_complete_one_request_and_bad_routing_is_typed() {
+        let mut collector =
+            PipelineCollector::new(["ok".to_string(), "doomed".to_string()]).expect("ids");
+        collector
+            .accept(&tag_request_id(
+                error_frame("rejected-busy", "pipeline full"),
+                "doomed",
+            ))
+            .expect("error frame routes");
+        assert!(!collector.is_complete());
+        let err = collector
+            .accept(&tag_request_id(status_frame("profiling", None), "doomed"))
+            .expect_err("finished id cannot take more frames");
+        assert!(matches!(err, ClientError::Protocol(_)));
+        let err = collector
+            .accept(&tag_request_id(status_frame("profiling", None), "nobody"))
+            .expect_err("unknown id is a protocol violation");
+        assert!(matches!(err, ClientError::Protocol(_)));
+        // Duplicate and empty ids are rejected up front.
+        assert!(PipelineCollector::new(["x".to_string(), "x".to_string()]).is_err());
+        assert!(PipelineCollector::new([String::new()]).is_err());
+        assert!(PipelineCollector::new(std::iter::empty::<String>()).is_err());
+    }
 }

@@ -20,9 +20,34 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
-/// A TCP proxy that severs the connection after forwarding a fixed
-/// number of server→client frames.
+/// The adversarial behaviour a [`FaultProxy`] injects into each
+/// forwarded connection.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultMode {
+    /// Sever both directions after forwarding this many server→client
+    /// frames — a crash or partition landing exactly on a frame
+    /// boundary (`0` cuts before the first response frame).
+    CutAfterFrames(usize),
+    /// Forward the client→server stream one byte at a time with this
+    /// delay between bytes — a slow-loris peer that keeps a frame torn
+    /// open indefinitely. Drives the server's mid-frame stall deadline
+    /// (the reactor's INV-NONBLOCK timeout, `docs/SERVER.md`).
+    SlowLoris {
+        /// Pause inserted before each forwarded client→server byte.
+        byte_delay: Duration,
+    },
+    /// Forward this many client→server frames, then shut down only the
+    /// write side toward the server (the server reads EOF — a
+    /// half-closed socket) while continuing to relay server→client
+    /// bytes. A well-behaved server answers everything it admitted
+    /// before the EOF, then closes.
+    HalfCloseAfter(usize),
+}
+
+/// A TCP proxy that injects one configured [`FaultMode`] into every
+/// forwarded connection.
 pub struct FaultProxy {
     addr: SocketAddr,
 }
@@ -34,7 +59,15 @@ impl FaultProxy {
     /// `cut_after_frames` of 0 severs before the first response frame —
     /// the request may still have been delivered and run to completion
     /// server-side, exactly like a crash right after submission.
+    /// Shorthand for [`FaultProxy::start_with`] and
+    /// [`FaultMode::CutAfterFrames`].
     pub fn start(upstream: &str, cut_after_frames: usize) -> std::io::Result<Self> {
+        Self::start_with(upstream, FaultMode::CutAfterFrames(cut_after_frames))
+    }
+
+    /// Starts a proxy on an ephemeral local port, injecting `mode` into
+    /// every accepted connection.
+    pub fn start_with(upstream: &str, mode: FaultMode) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let upstream = upstream.to_string();
@@ -46,7 +79,13 @@ impl FaultProxy {
                     // immediately, which reads as connection-refused-ish.
                     continue;
                 };
-                let _ = pump(client, server, cut_after_frames);
+                let _ = match mode {
+                    FaultMode::CutAfterFrames(n) => pump(client, server, n),
+                    FaultMode::SlowLoris { byte_delay } => {
+                        pump_slow_loris(client, server, byte_delay)
+                    }
+                    FaultMode::HalfCloseAfter(n) => pump_half_close(client, server, n),
+                };
             }
         });
         Ok(Self { addr })
@@ -88,6 +127,74 @@ fn pump(client: TcpStream, server: TcpStream, cut_after_frames: usize) -> std::i
         to_client.flush()?;
         forwarded += 1;
     }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Relays a connection pair with the client→server direction throttled
+/// to one byte per `byte_delay` — the frames still arrive intact, just
+/// adversarially slowly. Server→client flows verbatim on its own
+/// thread.
+fn pump_slow_loris(
+    client: TcpStream,
+    server: TcpStream,
+    byte_delay: Duration,
+) -> std::io::Result<()> {
+    let mut s2c_read = server.try_clone()?;
+    let mut s2c_write = client.try_clone()?;
+    std::thread::spawn(move || {
+        let _ = std::io::copy(&mut s2c_read, &mut s2c_write);
+        let _ = s2c_write.shutdown(Shutdown::Write);
+    });
+
+    let mut from_client = client.try_clone()?;
+    let mut to_server = server.try_clone()?;
+    let mut byte = [0u8; 1];
+    loop {
+        match from_client.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                std::thread::sleep(byte_delay);
+                if to_server.write_all(&byte).is_err() || to_server.flush().is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Relays `frames` client→server frames intact, then half-closes the
+/// server-facing socket (the server reads EOF) while continuing to
+/// relay server→client bytes until the server itself closes.
+fn pump_half_close(client: TcpStream, server: TcpStream, frames: usize) -> std::io::Result<()> {
+    let mut from_client = client.try_clone()?;
+    let mut to_server = server.try_clone()?;
+    let mut forwarded = 0usize;
+    while forwarded < frames {
+        let mut prefix = [0u8; 4];
+        if from_client.read_exact(&mut prefix).is_err() {
+            break; // the client sent fewer frames than the budget
+        }
+        let len = u32::from_be_bytes(prefix) as usize;
+        let mut payload = vec![0u8; len];
+        from_client.read_exact(&mut payload)?;
+        to_server.write_all(&prefix)?;
+        to_server.write_all(&payload)?;
+        to_server.flush()?;
+        forwarded += 1;
+    }
+    // Half-close: the server sees EOF on its read side but its write
+    // side — and the relay back to the client — stays open.
+    let _ = to_server.shutdown(Shutdown::Write);
+    let mut from_server = server.try_clone()?;
+    let mut to_client = client.try_clone()?;
+    let _ = std::io::copy(&mut from_server, &mut to_client);
     let _ = client.shutdown(Shutdown::Both);
     let _ = server.shutdown(Shutdown::Both);
     Ok(())
@@ -144,5 +251,48 @@ mod tests {
         let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
         let _ = write_frame(&mut stream, &Value::UInt(1));
         assert!(read_frame(&mut stream).is_err(), "no frame may arrive");
+    }
+
+    /// Slow loris still delivers intact frames — just slowly. The
+    /// timeout consequences are asserted against the real daemon in
+    /// `tests/serve.rs`; here the proxy itself must not corrupt frames.
+    #[test]
+    fn slow_loris_delivers_intact_frames_byte_by_byte() {
+        let upstream = echo_server(1);
+        let proxy = FaultProxy::start_with(
+            &upstream,
+            FaultMode::SlowLoris {
+                byte_delay: Duration::from_millis(1),
+            },
+        )
+        .expect("proxy starts");
+        let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
+        write_frame(&mut stream, &Value::UInt(42)).expect("request trickles through");
+        assert_eq!(read_frame(&mut stream).unwrap().as_u64().unwrap(), 42);
+    }
+
+    /// Half-close after one frame: the server reads EOF, but the reply
+    /// to the admitted frame still flows back; a second client frame
+    /// never reaches the server.
+    #[test]
+    fn half_close_keeps_the_response_path_open() {
+        let upstream = echo_server(1);
+        let proxy =
+            FaultProxy::start_with(&upstream, FaultMode::HalfCloseAfter(1)).expect("proxy starts");
+        let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
+        write_frame(&mut stream, &Value::UInt(9)).expect("first frame forwarded");
+        // The second frame is swallowed by the half-close, not an error
+        // for the client's write side.
+        let _ = write_frame(&mut stream, &Value::UInt(10));
+        assert_eq!(
+            read_frame(&mut stream).unwrap().as_u64().unwrap(),
+            9,
+            "the admitted frame's reply survives the half-close"
+        );
+        // After the echo server closes (EOF on its reads), the stream ends.
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(WireError::Closed | WireError::Io(_))
+        ));
     }
 }

@@ -15,6 +15,10 @@
 //! * [`server`] — [`Server`], the bounded-worker accept loop with
 //!   graceful drain, per-connection i/o deadlines, and (with
 //!   `--spool-dir`) crash-recovery checkpoint spooling;
+//! * [`reactor`] — the readiness-driven front-end (`--reactor`): every
+//!   connection on one nonblocking event-loop thread, incremental
+//!   framing, request pipelining with `request_id`-tagged responses,
+//!   and round-robin fair dispatch into the worker pool;
 //! * [`client`] — blocking [`submit`]/[`shutdown`]/[`server_stats`]
 //!   helpers, the collected [`Response`], and [`submit_with_retries`]
 //!   (bounded backoff with deterministic jitter);
@@ -35,12 +39,19 @@ pub mod cache;
 pub mod client;
 pub mod fault;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use cache::{cluster_fingerprint, model_fingerprint, ProfileCache};
-pub use client::{server_stats, shutdown, submit, submit_with_retries, ClientError, Response};
-pub use fault::FaultProxy;
-pub use proto::{error_frame, event_frame, status_frame, Request};
+pub use client::{
+    server_stats, shutdown, submit, submit_pipelined, submit_with_retries, ClientError,
+    PipelineCollector, Response,
+};
+pub use fault::{FaultMode, FaultProxy};
+pub use proto::{error_frame, event_frame, status_frame, tag_request_id, Request};
+pub use reactor::PIPELINE_DEPTH;
 pub use server::{spool_path, sweep_spools, ServeOptions, Server};
-pub use wire::{read_frame, write_frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use wire::{
+    read_frame, write_frame, FrameDecoder, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};

@@ -74,6 +74,18 @@ pub struct ServeOptions {
     /// later, so the TTL should comfortably exceed any plausible retry
     /// horizon. `None` (the default) never prunes.
     pub spool_ttl_secs: Option<u64>,
+    /// Serve connections through the readiness-driven reactor
+    /// (`crates/serve/src/reactor.rs`, `--reactor`) instead of a thread
+    /// per connection. The reactor holds thousands of idle clients on
+    /// one thread, supports request pipelining (responses tagged by
+    /// `request_id`), and dispatches round-robin into the bounded worker
+    /// pool; see the reactor section of `docs/SERVER.md`.
+    pub reactor: bool,
+    /// Reactor-only cap on simultaneously open connections; a connection
+    /// accepted past the cap receives a typed `connection-limit` error
+    /// and is closed. `0` (the default) means unlimited. The blocking
+    /// front-end ignores this knob — its natural cap is thread count.
+    pub max_connections: usize,
 }
 
 impl Default for ServeOptions {
@@ -89,36 +101,47 @@ impl Default for ServeOptions {
             spool_dir: None,
             checkpoint_every: 8,
             spool_ttl_secs: None,
+            reactor: false,
+            max_connections: 0,
         }
     }
 }
 
-/// State shared by the accept loop and every connection thread.
-struct Shared {
-    opts: ServeOptions,
-    cache: ProfileCache,
-    addr: SocketAddr,
-    draining: AtomicBool,
-    in_flight: Mutex<usize>,
-    idle: Condvar,
-    requests: AtomicU64,
-    rejected: AtomicU64,
-    checkpoints_written: AtomicU64,
-    searches_resumed: AtomicU64,
-    client_retries: AtomicU64,
+/// State shared by the accept loop (or reactor) and every worker.
+pub(crate) struct Shared {
+    pub(crate) opts: ServeOptions,
+    pub(crate) cache: ProfileCache,
+    pub(crate) addr: SocketAddr,
+    pub(crate) draining: AtomicBool,
+    pub(crate) in_flight: Mutex<usize>,
+    pub(crate) idle: Condvar,
+    pub(crate) requests: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) checkpoints_written: AtomicU64,
+    pub(crate) searches_resumed: AtomicU64,
+    pub(crate) client_retries: AtomicU64,
+    /// Open-connection gauge maintained by the reactor (accepted minus
+    /// closed); stays zero under the blocking front-end.
+    pub(crate) connections_open: AtomicU64,
+    /// Requests that arrived on a connection already carrying queued or
+    /// in-flight work (reactor pipelining).
+    pub(crate) pipelined_requests: AtomicU64,
+    /// Round-robin dispatches that preferred a connection with nothing
+    /// in flight while another connection's pipelined request waited.
+    pub(crate) fairness_deferrals: AtomicU64,
     /// Server-level resume/restart events (`search_resumed`,
     /// `search_restarted`). Like the serve counters they never enter a
     /// request's own event stream — that stream must stay bit-identical
     /// to an uninterrupted direct run — so they surface only through the
     /// drain report.
-    server_events: Mutex<Vec<Event>>,
+    pub(crate) server_events: Mutex<Vec<Event>>,
 }
 
 impl Shared {
     /// Snapshot of the server-level counters and resume/restart events
     /// as an [`ObsReport`] (the serve counter group of
-    /// `docs/OBSERVABILITY.md`, schema v4).
-    fn report(&self) -> ObsReport {
+    /// `docs/OBSERVABILITY.md`, schema v7).
+    pub(crate) fn report(&self) -> ObsReport {
         let events = self.server_events.lock().expect("event lock").clone();
         let rec = Recorder::from_parts(events, Metrics::default());
         rec.add(Counter::ProfileCacheHits, self.cache.hits());
@@ -143,6 +166,18 @@ impl Shared {
             Counter::ClientRetries,
             self.client_retries.load(Ordering::Relaxed),
         );
+        rec.add(
+            Counter::ServeConnectionsOpen,
+            self.connections_open.load(Ordering::Relaxed),
+        );
+        rec.add(
+            Counter::ServePipelinedRequests,
+            self.pipelined_requests.load(Ordering::Relaxed),
+        );
+        rec.add(
+            Counter::ServeFairnessDeferrals,
+            self.fairness_deferrals.load(Ordering::Relaxed),
+        );
         let mut report = ObsReport::new();
         report.absorb(rec);
         report
@@ -155,7 +190,7 @@ impl Shared {
 
     /// Records that a spooled checkpoint could not be used and the
     /// search restarted fresh — graceful degradation, never an error.
-    fn record_restart(&self, request_id: &str, reason: String) {
+    pub(crate) fn record_restart(&self, request_id: &str, reason: String) {
         self.server_events
             .lock()
             .expect("event lock")
@@ -200,6 +235,9 @@ impl Server {
             checkpoints_written: AtomicU64::new(0),
             searches_resumed: AtomicU64::new(0),
             client_retries: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            pipelined_requests: AtomicU64::new(0),
+            fairness_deferrals: AtomicU64::new(0),
             server_events: Mutex::new(Vec::new()),
         });
         Ok(Self { listener, shared })
@@ -213,8 +251,19 @@ impl Server {
     /// Runs the accept loop until a `shutdown` frame arrives, then
     /// drains in-flight requests and returns the server-level
     /// observability report (the serve counter quartet).
+    ///
+    /// With [`ServeOptions::reactor`] set, connections are served by the
+    /// readiness-driven reactor ([`crate::reactor`]) instead of a thread
+    /// per connection; the drain-and-report contract is identical.
     pub fn run(self) -> ObsReport {
         let sweeper = self.spawn_spool_sweeper();
+        if self.shared.opts.reactor {
+            let report = crate::reactor::run(&self.listener, &self.shared);
+            if let Some(handle) = sweeper {
+                let _ = handle.join();
+            }
+            return report;
+        }
         for conn in self.listener.incoming() {
             if self.shared.draining.load(Ordering::SeqCst) {
                 break;
@@ -383,33 +432,67 @@ fn deepnet_layers(model: &str) -> Option<usize> {
         .ok()
 }
 
-/// Validates, admits, runs, and streams one search request.
-fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
+/// Where a request's response frames go: straight down the socket in
+/// blocking mode ([`StreamSink`]), or into the reactor's tagged
+/// outbound queue. The abstraction keeps [`execute_request`] — and
+/// therefore the bytes of every response frame — identical across both
+/// front-ends.
+pub(crate) trait FrameSink {
+    /// Sends one frame. An error means the client is unreachable and
+    /// the request should stop streaming.
+    fn send(&mut self, frame: &Value) -> Result<(), WireError>;
+
+    /// Sends the final result frame and, once it has actually reached
+    /// the peer, removes the request's spool file. The spool outlives
+    /// the request until the client has the result in hand, so a
+    /// connection lost at the last moment still resumes on resubmit.
+    fn send_final(&mut self, frame: &Value, spool: Option<&Path>) -> Result<(), WireError>;
+}
+
+/// Blocking sink: frames go straight down the connection's socket.
+struct StreamSink<'a>(&'a mut TcpStream);
+
+impl FrameSink for StreamSink<'_> {
+    fn send(&mut self, frame: &Value) -> Result<(), WireError> {
+        write_frame(self.0, frame)
+    }
+
+    fn send_final(&mut self, frame: &Value, spool: Option<&Path>) -> Result<(), WireError> {
+        write_frame(self.0, frame)?;
+        // The write reached the kernel; the saved work is now redundant.
+        if let Some(path) = spool {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// The cheap admission checks every request passes before it is allowed
+/// anywhere near a worker: protocol version, frame shape, drain state,
+/// and the resource caps. Returns the parsed request or a typed
+/// `(code, message)` rejection. Deliberately excludes `zoo::by_name` —
+/// the one validation that builds a graph — so the reactor can run this
+/// on its event-loop thread without stalling other connections
+/// (INV-NONBLOCK, `docs/SERVER.md`).
+pub(crate) fn validate_request(
+    shared: &Shared,
+    frame: &Value,
+) -> Result<Request, (&'static str, String)> {
     match frame.get("protocol_version").and_then(|v| v.as_u64().ok()) {
         Some(PROTOCOL_VERSION) => {}
         got => {
-            shared.reject(
-                stream,
+            return Err((
                 "bad-protocol-version",
-                &format!("server speaks protocol {PROTOCOL_VERSION}, request carried {got:?}"),
-            );
-            return;
+                format!("server speaks protocol {PROTOCOL_VERSION}, request carried {got:?}"),
+            ));
         }
     }
-    let req = match Request::from_json_value(frame) {
-        Ok(r) => r,
-        Err(e) => {
-            shared.reject(stream, "bad-request", &e.to_string());
-            return;
-        }
-    };
+    let req = Request::from_json_value(frame).map_err(|e| ("bad-request", e.to_string()))?;
     if shared.draining.load(Ordering::SeqCst) {
-        shared.reject(stream, "shutting-down", "server is draining");
-        return;
+        return Err(("shutting-down", "server is draining".to_string()));
     }
     if req.gpus == 0 {
-        shared.reject(stream, "bad-request", "gpus must be at least 1");
-        return;
+        return Err(("bad-request", "gpus must be at least 1".to_string()));
     }
     // Resource caps guard the worker pool and the allocator: gpus and
     // iterations bound how long a request can occupy a slot, and the
@@ -417,48 +500,53 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
     // hostile depth cannot make the server allocate billions of ops.
     if let Some(max) = shared.opts.max_gpus {
         if req.gpus > max {
-            shared.reject(
-                stream,
+            return Err((
                 "bad-request",
-                &format!("gpus {} exceeds the server limit of {max}", req.gpus),
-            );
-            return;
+                format!("gpus {} exceeds the server limit of {max}", req.gpus),
+            ));
         }
     }
     if let Some(max) = shared.opts.max_iterations {
         if req.max_iterations > max {
-            shared.reject(
-                stream,
+            return Err((
                 "bad-request",
-                &format!(
+                format!(
                     "max_iterations {} exceeds the server limit of {max}",
                     req.max_iterations
                 ),
-            );
-            return;
+            ));
         }
     }
     if let (Some(max), Some(layers)) = (shared.opts.max_deepnet_layers, deepnet_layers(&req.model))
     {
         if layers > max {
-            shared.reject(
-                stream,
+            return Err((
                 "bad-request",
-                &format!("deepnet depth {layers} exceeds the server limit of {max}"),
-            );
-            return;
+                format!("deepnet depth {layers} exceeds the server limit of {max}"),
+            ));
         }
     }
     if let (Some(max), Some(b)) = (shared.opts.max_budget_secs, req.budget_secs) {
         if b > max {
-            shared.reject(
-                stream,
+            return Err((
                 "budget-too-large",
-                &format!("budget_secs {b} exceeds the server limit of {max}"),
-            );
-            return;
+                format!("budget_secs {b} exceeds the server limit of {max}"),
+            ));
         }
     }
+    Ok(req)
+}
+
+/// Validates, admits, runs, and streams one search request (blocking
+/// front-end).
+fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
+    let req = match validate_request(shared, frame) {
+        Ok(r) => r,
+        Err((code, message)) => {
+            shared.reject(stream, code, &message);
+            return;
+        }
+    };
     let Some(model) = zoo::by_name(&req.model) else {
         shared.reject(
             stream,
@@ -482,17 +570,31 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
         *n += 1;
         SlotGuard(shared)
     };
+    execute_request(shared, &req, &model, &mut StreamSink(stream));
+}
+
+/// Runs one admitted request and streams its response frames into
+/// `sink`. Both front-ends funnel through here, which is what keeps a
+/// reactor-served response bit-identical to a blocking one (and both
+/// identical to a direct `run_observed` run): the frames are built
+/// once, in one place, in one order.
+pub(crate) fn execute_request(
+    shared: &Shared,
+    req: &Request,
+    model: &aceso_model::ModelGraph,
+    sink: &mut dyn FrameSink,
+) {
     shared.requests.fetch_add(1, Ordering::Relaxed);
 
-    let _ = write_frame(stream, &status_frame("profiling", None));
+    let _ = sink.send(&status_frame("profiling", None));
     let cluster = ClusterSpec::v100_gpus(req.gpus);
     let profile_start = std::time::Instant::now();
-    let (db, hit) = shared.cache.get_or_build(&model, &cluster);
+    let (db, hit) = shared.cache.get_or_build(model, &cluster);
     let profile_micros = profile_start.elapsed().as_micros() as u64;
     let cache_tag = if hit { "hit" } else { "miss" };
-    let _ = write_frame(stream, &status_frame("searching", Some(cache_tag)));
+    let _ = sink.send(&status_frame("searching", Some(cache_tag)));
 
-    let search = AcesoSearch::new(&model, &cluster, &db, req.search_options());
+    let search = AcesoSearch::new(model, &cluster, &db, req.search_options());
     let spool = match (&shared.opts.spool_dir, &req.request_id) {
         (Some(dir), Some(id)) if !id.is_empty() => Some(spool_path(dir, id)),
         _ => None,
@@ -509,7 +611,7 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
     let (result, report) = match searched {
         Ok(r) => r,
         Err(msg) => {
-            let _ = write_frame(stream, &error_frame("search-failed", &msg));
+            let _ = sink.send(&error_frame("search-failed", &msg));
             return;
         }
     };
@@ -517,13 +619,13 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
     // The event feed streams after the per-thread recorders merged —
     // that ordering is what makes it deterministic (docs/SERVER.md).
     for (seq, event) in report.events().iter().enumerate() {
-        if write_frame(stream, &event_frame(seq, event.to_json_value())).is_err() {
+        if sink.send(&event_frame(seq, event.to_json_value())).is_err() {
             return;
         }
     }
 
     let plan = if req.plan && !result.best_oom {
-        ExecutionPlan::build(&model, &cluster, &result.best_config)
+        ExecutionPlan::build(model, &cluster, &result.best_config)
             .ok()
             .map(|p| Value::parse(&p.to_json()).expect("own plan parses"))
     } else {
@@ -558,14 +660,7 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
         ("metrics", metrics),
         ("plan", plan.unwrap_or(Value::Null)),
     ]);
-    // The spool outlives the request until the client has the result in
-    // hand: delete it only after the result frame actually went out, so
-    // a connection lost at the last moment still resumes on resubmit.
-    if write_frame(stream, &final_frame).is_ok() {
-        if let Some(path) = &spool {
-            let _ = std::fs::remove_file(path);
-        }
-    }
+    let _ = sink.send_final(&final_frame, spool.as_deref());
 }
 
 /// Spool file for one request id: the id is sanitised for the

@@ -77,7 +77,7 @@ usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
              [--max-budget-secs S] [--max-gpus N] [--max-iterations I]
              [--max-deepnet-layers L] [--io-timeout-secs S]
              [--spool-dir DIR] [--checkpoint-every I]
-             [--spool-ttl-secs S]
+             [--spool-ttl-secs S] [--reactor] [--max-connections N]
        aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
              [--zero] [--iterations I] [--budget-secs S] [--seed K]
              [--search-threads N] [--request-id ID] [--retries N]
@@ -147,6 +147,15 @@ serve: run the search daemon (wire contract in docs/SERVER.md)
                     startup and periodically while serving (default: no
                     pruning; reclaims spools abandoned by crashed or
                     never-resubmitted requests)
+  --reactor         serve every connection from one readiness-driven
+                    event-loop thread instead of thread-per-connection:
+                    idle clients cost no thread, requests may be
+                    pipelined (responses tagged by request_id), and
+                    dispatch into the worker pool is round-robin fair
+                    (docs/SERVER.md)
+  --max-connections N  reactor only: reject further connections with a
+                    typed `connection-limit` error while N are open
+                    (default 0 = unlimited)
 
 submit: send one search to a daemon and collect the streamed response
   --iterations I    per-stage-count iteration budget (default 48); the

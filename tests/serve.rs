@@ -10,12 +10,16 @@
 use aceso::obs::Counter;
 use aceso::prelude::*;
 use aceso::search::{SearchStep, CHECKPOINT_SCHEMA_VERSION};
-use aceso::serve::{self, ClientError, FaultProxy, Request, Response, ServeOptions, Server};
-use aceso::serve::{read_frame, spool_path, write_frame, WireError, MAX_FRAME_BYTES};
+use aceso::serve::{
+    self, ClientError, FaultMode, FaultProxy, Request, Response, ServeOptions, Server,
+};
+use aceso::serve::{
+    read_frame, spool_path, write_frame, WireError, MAX_FRAME_BYTES, PIPELINE_DEPTH,
+};
 use aceso::util::json::{obj, Value};
 use std::io::Write as _;
 use std::net::TcpStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// A per-test scratch directory under the system temp dir.
@@ -24,6 +28,23 @@ fn temp_spool(tag: &str) -> PathBuf {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("temp spool dir");
     dir
+}
+
+/// Waits (briefly) for a spool file to disappear. The server unlinks
+/// the spool *after* the result frame reaches the kernel, so the client
+/// can observe its response a beat before the deletion lands; the
+/// contract is "deleted once the client has the result", not "deleted
+/// before the result is readable".
+fn assert_spool_removed(path: &Path, ctx: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while path.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{ctx}: spool {} must be removed once the client has the result",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 /// Binds an ephemeral-port daemon and runs it on a background thread.
@@ -468,10 +489,7 @@ fn severed_connection_resumes_from_spool_on_retry() {
     let resp = serve::submit_with_retries(&addr, &req, 12).expect("retry succeeds");
     assert_matches_direct(&resp, &req, "resumed after a severed connection");
     // Success deletes the spool: the id is safe to reuse.
-    assert!(
-        !spool_path(&spool, "sever-job").exists(),
-        "spool must be removed once the client has the result"
-    );
+    assert_spool_removed(&spool_path(&spool, "sever-job"), "blocking sever");
 
     serve::shutdown(&addr).expect("shutdown");
     let report = handle.join().unwrap();
@@ -628,6 +646,468 @@ fn spool_ttl_sweep_prunes_aged_spools_and_keeps_live_ones() {
     serve::shutdown(&addr).expect("shutdown");
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Reactor options with sane test defaults.
+fn reactor_opts() -> ServeOptions {
+    ServeOptions {
+        reactor: true,
+        ..ServeOptions::default()
+    }
+}
+
+/// The reactor front-end changes connection handling, never results:
+/// sequential submissions and a pipelined batch are all bit-identical
+/// to direct library runs (`docs/SERVER.md`, Determinism).
+#[test]
+fn reactor_responses_are_bit_identical_to_direct_runs() {
+    let (addr, handle) = start(reactor_opts());
+    let base = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        ..Request::default()
+    };
+
+    // Sequential, untagged — the classic blocking-client shape.
+    let seq = Request {
+        seed: 11,
+        ..base.clone()
+    };
+    let resp = serve::submit(&addr, &seq).expect("sequential submit");
+    assert_matches_direct(&resp, &seq, "reactor sequential");
+
+    // Pipelined, tagged — three requests written back to back on one
+    // connection, responses routed by their request_id tags.
+    let reqs: Vec<Request> = [21u64, 22, 23]
+        .into_iter()
+        .map(|seed| Request {
+            seed,
+            request_id: Some(format!("pipe-{seed}")),
+            ..base.clone()
+        })
+        .collect();
+    let outcomes = serve::submit_pipelined(&addr, &reqs).expect("pipelined submit");
+    assert_eq!(outcomes.len(), 3);
+    for ((id, outcome), req) in outcomes.iter().zip(&reqs) {
+        assert_eq!(id, req.request_id.as_ref().unwrap());
+        let resp = outcome.as_ref().unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_matches_direct(resp, req, &format!("reactor pipelined {id}"));
+    }
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 4);
+    assert_eq!(report.counter(Counter::ServeRejected), 0);
+    // The 2nd/3rd pipelined requests joined a connection already
+    // carrying work. (Timing-dependent, so >= 1, not an exact value.)
+    assert!(report.counter(Counter::ServePipelinedRequests) >= 1);
+}
+
+/// INV-FAIRNESS, observably: while one connection pipelines a deep
+/// queue, a fresh request on another connection is dispatched first and
+/// each such preference is counted as a fairness deferral.
+#[test]
+fn reactor_counts_fairness_deferrals_and_pipelined_requests() {
+    let (addr, handle) = start(ServeOptions {
+        workers: 2,
+        ..reactor_opts()
+    });
+    let base = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 24,
+        seed: 7,
+        ..Request::default()
+    };
+
+    // `a2` carries a strictly larger iteration budget than its batch
+    // mates, so it provably outlives `a1`: when `a1`'s worker slot
+    // frees, the pipeliner connection still holds `a2` in flight with
+    // `a3` queued behind it — the exact state INV-FAIRNESS defers.
+    // (Equal budgets flake: both workers can finish inside one sweep,
+    // leaving the connection momentarily idle and nothing to defer.)
+    let long = Request {
+        max_iterations: 128,
+        ..base.clone()
+    };
+    let (pipelined, fresh) = std::thread::scope(|s| {
+        let pipeliner = {
+            let (addr, base, long) = (addr.clone(), base.clone(), long.clone());
+            s.spawn(move || {
+                let reqs: Vec<Request> = [("a1", &base), ("a2", &long), ("a3", &base)]
+                    .into_iter()
+                    .map(|(id, req)| Request {
+                        request_id: Some(id.into()),
+                        ..req.clone()
+                    })
+                    .collect();
+                serve::submit_pipelined(&addr, &reqs).expect("pipelined batch")
+            })
+        };
+        // Give the pipeliner a head start so its queue is deep when the
+        // fresh single request arrives on a second connection.
+        std::thread::sleep(Duration::from_millis(20));
+        let fresh = serve::submit(&addr, &base).expect("fresh submit");
+        (pipeliner.join().unwrap(), fresh)
+    });
+
+    // The fresh response is bit-identical to a direct run; so are the
+    // pipelined ones to it (`a1`/`a3` are the identical request, `a2`
+    // to its own direct run).
+    assert_matches_direct(&fresh, &base, "fresh request beside a pipeliner");
+    for (id, outcome) in &pipelined {
+        let resp = outcome.as_ref().unwrap_or_else(|e| panic!("{id}: {e}"));
+        if *id == "a2" {
+            assert_matches_direct(resp, &long, "long pipelined request");
+        } else {
+            assert_eq!(
+                resp.events_jsonl(),
+                fresh.events_jsonl(),
+                "{id}: identical request must produce identical bytes"
+            );
+        }
+    }
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 4);
+    assert!(
+        report.counter(Counter::ServePipelinedRequests) >= 1,
+        "a2/a3 joined a busy connection"
+    );
+    assert!(
+        report.counter(Counter::ServeFairnessDeferrals) >= 1,
+        "dispatching the fresh request while a pipelined one waited \
+         must be recorded as a deferral"
+    );
+}
+
+/// INV-NONBLOCK's two halves, against an adversarial peer: a slow-loris
+/// writer stalled mid-frame gets a typed `timeout` and is cut loose,
+/// while a merely idle connection — quiet far past the same deadline —
+/// is held and still served.
+#[test]
+fn reactor_times_out_slow_loris_but_holds_idle_connections() {
+    let (addr, handle) = start(ServeOptions {
+        io_timeout: Some(Duration::from_millis(100)),
+        ..reactor_opts()
+    });
+
+    // The idle connection opens first and outlives everything below.
+    let mut idle = TcpStream::connect(&addr).unwrap();
+
+    // Slow loris: the proxy trickles the request one byte per 300 ms —
+    // every inter-byte gap overshoots the 100 ms deadline mid-frame.
+    let proxy = FaultProxy::start_with(
+        &addr,
+        FaultMode::SlowLoris {
+            byte_delay: Duration::from_millis(300),
+        },
+    )
+    .expect("proxy starts");
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        ..Request::default()
+    };
+    match serve::submit(&proxy.addr(), &req).expect_err("must time out") {
+        ClientError::Server { code, .. } => assert_eq!(code, "timeout"),
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+
+    // The idle connection has now been quiet for several deadlines; in
+    // blocking mode it would be dead. The reactor still answers it.
+    write_frame(&mut idle, &obj([("type", Value::Str("stats".into()))])).unwrap();
+    let stats = read_frame(&mut idle).expect("idle connection must survive");
+    assert_eq!(stats.field("type").unwrap().as_str().unwrap(), "stats");
+    drop(idle);
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 0);
+    assert_eq!(report.counter(Counter::ServeRejected), 1);
+}
+
+/// A half-closed socket (client EOF after one request) is not an error:
+/// the admitted request is answered bit-identically down the still-open
+/// write side, then the server closes cleanly.
+#[test]
+fn reactor_half_close_completes_the_admitted_request() {
+    let (addr, handle) = start(reactor_opts());
+    let proxy = FaultProxy::start_with(&addr, FaultMode::HalfCloseAfter(1)).expect("proxy starts");
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 5,
+        request_id: Some("hc-1".into()),
+        ..Request::default()
+    };
+    let swallowed = Request {
+        request_id: Some("hc-2".into()),
+        ..req.clone()
+    };
+
+    let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+    use aceso::util::json::ToJson as _;
+    write_frame(&mut stream, &req.to_json_value()).unwrap();
+    // The proxy forwards exactly one frame, then half-closes toward the
+    // server; this second request never arrives.
+    let _ = write_frame(&mut stream, &swallowed.to_json_value());
+
+    let mut collector = serve::PipelineCollector::new(["hc-1".to_string()]).expect("collector");
+    while !collector.is_complete() {
+        let frame = read_frame(&mut stream).expect("response survives the half-close");
+        collector.accept(&frame).expect("routes");
+    }
+    let outcomes = collector.into_outcomes();
+    let resp = outcomes[0].1.as_ref().expect("admitted request succeeds");
+    assert_matches_direct(resp, &req, "half-closed connection");
+    // After the reply, the server closes its side too.
+    assert!(matches!(
+        read_frame(&mut stream),
+        Err(WireError::Closed | WireError::Io(_))
+    ));
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 1);
+}
+
+/// A connection cut mid-pipeline loses its own client, never its
+/// neighbours: a concurrent request on another connection completes
+/// bit-identically and the daemon drains cleanly.
+#[test]
+fn reactor_mid_pipeline_cut_leaves_other_connections_intact() {
+    let (addr, handle) = start(ServeOptions {
+        workers: 2,
+        ..reactor_opts()
+    });
+    let base = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 9,
+        ..Request::default()
+    };
+
+    let (cut, survivor) = std::thread::scope(|s| {
+        let victim = {
+            let (addr, base) = (addr.clone(), base.clone());
+            s.spawn(move || {
+                // Severed after 3 response frames — mid-way through the
+                // first response, with the second request queued behind.
+                let proxy = FaultProxy::start(&addr, 3).expect("proxy starts");
+                let reqs: Vec<Request> = ["cut-a", "cut-b"]
+                    .into_iter()
+                    .map(|id| Request {
+                        request_id: Some(id.into()),
+                        ..base.clone()
+                    })
+                    .collect();
+                serve::submit_pipelined(&proxy.addr(), &reqs)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        let survivor = serve::submit(&addr, &base).expect("survivor submit");
+        (victim.join().unwrap(), survivor)
+    });
+
+    assert!(cut.is_err(), "the severed pipeline must fail client-side");
+    assert_matches_direct(&survivor, &base, "connection beside a severed pipeline");
+    serve::shutdown(&addr).expect("shutdown");
+    handle.join().unwrap();
+}
+
+/// The reactor honours the spool contract under connection loss: a
+/// spooled request severed before its result frame drains leaves the
+/// checkpoint on disk, and a retry resumes instead of restarting.
+#[test]
+fn reactor_severed_connection_resumes_from_spool() {
+    let spool = temp_spool("reactor-sever");
+    let (addr, handle) = start(ServeOptions {
+        workers: 1,
+        spool_dir: Some(spool.clone()),
+        checkpoint_every: 1,
+        ..reactor_opts()
+    });
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 21,
+        request_id: Some("reactor-sever-job".into()),
+        ..Request::default()
+    };
+
+    let proxy = FaultProxy::start(&addr, 2).expect("proxy starts");
+    assert!(
+        serve::submit(&proxy.addr(), &req).is_err(),
+        "a severed submission must fail client-side"
+    );
+    let resp = serve::submit_with_retries(&addr, &req, 12).expect("retry succeeds");
+    assert_matches_direct(&resp, &req, "reactor resume after severed connection");
+    assert_spool_removed(&spool_path(&spool, "reactor-sever-job"), "reactor sever");
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(report.counter(Counter::ServeRequests), 2);
+    assert_eq!(report.counter(Counter::SearchResumed), 1);
+    assert!(report.counter(Counter::CheckpointsWritten) >= 1);
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// `--max-connections` refuses connection N+1 with a typed
+/// `connection-limit` error and closes it; freeing a slot re-admits.
+#[test]
+fn reactor_connection_limit_rejects_excess_connections() {
+    let (addr, handle) = start(ServeOptions {
+        max_connections: 2,
+        ..reactor_opts()
+    });
+    let held_one = TcpStream::connect(&addr).unwrap();
+    let held_two = TcpStream::connect(&addr).unwrap();
+    // Let the reactor accept both holders before the third arrives.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut excess = TcpStream::connect(&addr).unwrap();
+    let reply = read_frame(&mut excess).expect("typed refusal frame");
+    assert_eq!(error_code(&reply), "connection-limit");
+    assert!(
+        read_frame(&mut excess).is_err(),
+        "refused connection closes"
+    );
+
+    // Dropping a holder frees its slot; a new connection is admitted
+    // (poll briefly — the reactor notices the EOF on its next sweeps).
+    drop(held_one);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let stats = loop {
+        let mut retry = TcpStream::connect(&addr).unwrap();
+        write_frame(&mut retry, &obj([("type", Value::Str("stats".into()))])).unwrap();
+        match read_frame(&mut retry) {
+            Ok(frame) if frame.field("type").unwrap().as_str().unwrap() == "stats" => break frame,
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("slot never freed: {other:?}"),
+        }
+    };
+    assert_eq!(stats.field("type").unwrap().as_str().unwrap(), "stats");
+    drop(held_two);
+
+    // The dropped holders free their slots on the reactor's next
+    // sweeps; poll past any `connection-limit` refusal in the interim.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match serve::shutdown(&addr) {
+            Ok(()) => break,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("shutdown: {e:?}"),
+        }
+    }
+    let report = handle.join().unwrap();
+    assert!(report.counter(Counter::ServeRejected) >= 1);
+}
+
+/// The per-connection pipeline depth is a typed bound, not a hangup:
+/// request `PIPELINE_DEPTH + 1` bounces with `rejected-busy` while the
+/// first `PIPELINE_DEPTH` all complete on the same connection.
+#[test]
+fn reactor_pipeline_depth_rejects_excess_without_closing() {
+    let (addr, handle) = start(ServeOptions {
+        workers: 1,
+        ..reactor_opts()
+    });
+    let reqs: Vec<Request> = (0..=PIPELINE_DEPTH)
+        .map(|i| Request {
+            model: "deepnet-8l".into(),
+            gpus: 2,
+            // The first request is deliberately slower than the time it
+            // takes the remaining frames to arrive, so the connection's
+            // queue really reaches the depth bound.
+            max_iterations: if i == 0 { 16 } else { 1 },
+            request_id: Some(format!("depth-{i}")),
+            ..Request::default()
+        })
+        .collect();
+    let outcomes = serve::submit_pipelined(&addr, &reqs).expect("pipelined batch");
+    assert_eq!(outcomes.len(), PIPELINE_DEPTH + 1);
+    for (id, outcome) in &outcomes[..PIPELINE_DEPTH] {
+        assert!(outcome.is_ok(), "{id} must complete: {outcome:?}");
+    }
+    match &outcomes[PIPELINE_DEPTH].1 {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "rejected-busy"),
+        other => panic!("request past the depth bound must bounce, got {other:?}"),
+    }
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(
+        report.counter(Counter::ServeRequests),
+        PIPELINE_DEPTH as u64
+    );
+    assert_eq!(report.counter(Counter::ServeRejected), 1);
+}
+
+/// Fleet smoke: 64 concurrent mixed connections — idle holders plus
+/// single-shot submitters — against one reactor daemon, zero errors.
+/// (`serve_bench fleet` scales the same shape to 512+ clients with
+/// latency percentiles; `obs_check` gates the committed numbers.)
+#[test]
+fn reactor_fleet_smoke_sixty_four_clients() {
+    let (addr, handle) = start(reactor_opts());
+    // One warm-up so the fleet shares a built profile cache entry.
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 1,
+        ..Request::default()
+    };
+    serve::submit(&addr, &req).expect("warm-up");
+
+    let clients = 64;
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let mut submitters = Vec::new();
+        for i in 0..clients {
+            let (addr, req) = (addr.clone(), req.clone());
+            let stop = stop.clone();
+            let builder = std::thread::Builder::new().stack_size(256 * 1024);
+            if i % 2 == 0 {
+                builder
+                    .spawn_scoped(s, move || {
+                        let conn = TcpStream::connect(&addr).expect("idle connect");
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        drop(conn);
+                    })
+                    .expect("spawns");
+            } else {
+                submitters.push(
+                    builder
+                        .spawn_scoped(s, move || serve::submit(&addr, &req))
+                        .expect("spawns"),
+                );
+            }
+        }
+        for sub in submitters {
+            sub.join().unwrap().expect("every fleet submit succeeds");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(
+        report.counter(Counter::ServeRequests),
+        1 + clients as u64 / 2
+    );
+    assert_eq!(report.counter(Counter::ServeRejected), 0);
 }
 
 /// The submitted plan round-trips: a `plan: true` request returns the
