@@ -12,9 +12,13 @@
 # whose artifacts must validate against the documented schema, a serve
 # daemon round-trip, a crash-recovery smoke (SIGKILL the daemon
 # mid-search, restart it, resubmit — the resumed event stream must be
-# byte-identical to an uninterrupted reference), and a perf regression
-# gate against the committed BENCH_search.json (median of three runs;
-# mean evaluation latency must not regress by more than 1.5x).
+# byte-identical to an uninterrupted reference), a store smoke (SIGKILL
+# a --store-dir daemon mid-run — `aceso store verify` must find no torn
+# entry, and a restarted daemon must serve off the surviving store), a
+# store-backed restart bench smoke, and a perf regression gate against
+# the committed BENCH_search.json (median of three runs; mean
+# evaluation latency must not regress by more than 1.5x; store-backed
+# restart latency must stay within 1.1x of a warm cache hit).
 set -eu
 
 cd "$(dirname "$0")"
@@ -270,6 +274,64 @@ cargo run --release --quiet -p aceso-bench --bin serve_bench -- \
 grep -q '"errors": 0' "$FLEET_TMP/fleet.json" || {
     echo "fleet smoke recorded client errors"; exit 1; }
 rm -rf "$FLEET_TMP"
+
+echo "==> store smoke: SIGKILL mid-run, the store never shows a torn entry"
+STORE_TMP=$(mktemp -d)
+STORE_PID=""
+trap 'kill -9 "$STORE_PID" 2>/dev/null || :; rm -rf "$STORE_TMP"' EXIT
+target/release/aceso serve --addr 127.0.0.1:0 --workers 2 \
+    --store-dir "$STORE_TMP/store" >"$STORE_TMP/serve.log" &
+STORE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$STORE_TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "store daemon never reported its address"; exit 1; }
+# The first submit populates the store; the second is still in flight
+# when the daemon is SIGKILLed, so the kill can land mid-write.
+# INV-STORE-ATOMIC: whatever the timing, verify must find only clean
+# entries (leftover temp files are not findings).
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 8 >/dev/null
+target/release/aceso submit --addr "$ADDR" \
+    --model t5-0.77b --gpus 4 --iterations 8 >/dev/null 2>&1 &
+SUBMIT_PID=$!
+sleep 0.2
+kill -9 "$STORE_PID"
+wait "$SUBMIT_PID" 2>/dev/null || :  # the client lost its daemon — expected
+target/release/aceso store verify --dir "$STORE_TMP/store" || {
+    echo "store verify found a torn entry after SIGKILL"; exit 1; }
+# A fresh daemon on the surviving store serves the first request off a
+# store hit, not a re-profile.
+target/release/aceso serve --addr 127.0.0.1:0 --workers 2 \
+    --store-dir "$STORE_TMP/store" >"$STORE_TMP/serve2.log" &
+STORE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$STORE_TMP/serve2.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted store daemon never reported its address"; exit 1; }
+target/release/aceso submit --addr "$ADDR" \
+    --model gpt3-0.35b --gpus 4 --iterations 8 >/dev/null
+target/release/aceso submit --addr "$ADDR" --stats >"$STORE_TMP/stats.json"
+grep -q '"store_hits": *1' "$STORE_TMP/stats.json" || {
+    echo "restarted daemon did not serve off the store"; exit 1; }
+target/release/aceso submit --addr "$ADDR" --shutdown >/dev/null
+wait "$STORE_PID"
+trap - EXIT
+rm -rf "$STORE_TMP"
+
+echo "==> restart smoke: store-backed restart stays in the warm-hit envelope"
+RESTART_TMP=$(mktemp -d)
+cargo run --release --quiet -p aceso-bench --bin serve_bench -- \
+    restart "$RESTART_TMP/restart.json" >/dev/null
+grep -q '"restart_us"' "$RESTART_TMP/restart.json" || {
+    echo "restart smoke wrote no figures"; exit 1; }
+rm -rf "$RESTART_TMP"
 
 echo "==> perf regression gate (vs committed BENCH_search.json)"
 cargo run --release --quiet -p aceso-bench --bin obs_check

@@ -11,8 +11,10 @@
 //!   ([`aceso::obs::schema`]) — structural/wire field names are
 //!   allowlisted;
 //! * a stale schema version: the phrase `checkpoint schema version: N`
-//!   must match [`aceso::search::CHECKPOINT_SCHEMA_VERSION`], and any
-//!   other `schema version: N` / `` `schema_version` ``: N must match
+//!   must match [`aceso::search::CHECKPOINT_SCHEMA_VERSION`], the phrase
+//!   `store schema version: N` must match
+//!   [`aceso::store::STORE_SCHEMA_VERSION`], and any other
+//!   `schema version: N` / `` `schema_version` ``: N must match
 //!   [`aceso::obs::SCHEMA_VERSION`].
 //!
 //! The registries are the single source of truth; this gate only keeps
@@ -22,6 +24,7 @@ use aceso::cli::USAGE;
 use aceso::obs::schema::{COUNTERS, EVENTS, HISTOGRAMS};
 use aceso::obs::SCHEMA_VERSION;
 use aceso::search::CHECKPOINT_SCHEMA_VERSION;
+use aceso::store::STORE_SCHEMA_VERSION;
 
 /// Flags that belong to external tools (cargo) which the docs may
 /// legitimately mention without the `aceso` binary advertising them.
@@ -62,6 +65,24 @@ const STRUCTURAL_TOKENS: &[&str] = &[
     "errors",
     "p50_us",
     "p99_us",
+    "serve_restart",
+    "cold_us",
+    "warm_us",
+    "restart_us",
+    // Store file-format fields (docs/STORE.md).
+    "store_schema_version",
+    "checksum",
+    "model_fp",
+    "cluster_fp",
+    "cluster",
+    "precision",
+    "profiling_seconds_bits",
+    "sigs",
+    "counts",
+    "tps",
+    "dims",
+    "batches",
+    "times_bits",
     // Wire-protocol frame fields (docs/SERVER.md).
     "request_id",
     "type",
@@ -224,21 +245,20 @@ fn check_file(path: &std::path::Path, failures: &mut Vec<String>) {
         let Some(stated) = version_after(&lower, i) else {
             continue; // prose like "schema version history"
         };
-        let is_checkpoint = lower[..at].trim_end().ends_with("checkpoint");
-        let expected = if is_checkpoint {
-            CHECKPOINT_SCHEMA_VERSION
+        let prefix = lower[..at].trim_end();
+        let is_checkpoint = prefix.ends_with("checkpoint");
+        let is_store = prefix.ends_with("store");
+        let (expected, family) = if is_checkpoint {
+            (CHECKPOINT_SCHEMA_VERSION, "checkpoint")
+        } else if is_store {
+            (STORE_SCHEMA_VERSION, "store")
         } else {
-            SCHEMA_VERSION
+            (SCHEMA_VERSION, "observability")
         };
         if stated != expected {
             failures.push(format!(
-                "{name}: states {} schema version {stated}, but the current \
-                 version is {expected}",
-                if is_checkpoint {
-                    "checkpoint"
-                } else {
-                    "observability"
-                }
+                "{name}: states {family} schema version {stated}, but the \
+                 current version is {expected}"
             ));
         }
     }

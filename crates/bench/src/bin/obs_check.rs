@@ -221,6 +221,49 @@ fn check_serve_fleet(doc: &Value) {
     );
 }
 
+/// Maximum tolerated `restart_us` / `warm_us` ratio in the committed
+/// `serve_restart` section: a daemon restarting onto a warm
+/// `--store-dir` must serve its first request within 10% of a warm
+/// in-memory cache hit, because the store converts the restart's cache
+/// miss into a decode rather than a re-profile (`docs/STORE.md`).
+const MAX_RESTART_RATIO: f64 = 1.1;
+
+/// Gates the `serve_restart` section (written by `serve_bench restart`
+/// and carried across snapshot refreshes).
+fn check_serve_restart(doc: &Value) {
+    let restart = doc.field("serve_restart").unwrap_or_else(|e| {
+        fail(&format!(
+            "BENCH_search.json: serve_restart section missing ({e:?}) — \
+             run `serve_bench restart` to regenerate it"
+        ))
+    });
+    let get = |name: &str| {
+        restart
+            .field(name)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|e| fail(&format!("serve_restart.{name}: {e:?}")))
+    };
+    let (cold, warm, restarted) = (get("cold_us"), get("warm_us"), get("restart_us"));
+    if warm == 0 || cold == 0 || restarted == 0 {
+        fail(&format!(
+            "serve_restart: implausible figures (cold {cold} µs, warm {warm} µs, \
+             restart {restarted} µs)"
+        ));
+    }
+    let ratio = restarted as f64 / warm as f64;
+    if ratio > MAX_RESTART_RATIO {
+        fail(&format!(
+            "serve_restart: restart {restarted} µs is {ratio:.2}x warm {warm} µs \
+             (limit {MAX_RESTART_RATIO}x) — the store-backed restart path \
+             regressed; run `serve_bench restart` on a quiet machine to refresh"
+        ));
+    }
+    println!(
+        "obs_check: serve_restart: cold {cold} µs, warm {warm} µs, \
+         restart {restarted} µs ({ratio:.2}x warm) -- gated"
+    );
+}
+
 /// Mean `eval_latency_us` of one observed run, read from its metric
 /// snapshot.
 fn run_mean_latency_us(report: &ObsReport) -> f64 {
@@ -301,6 +344,7 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("BENCH_search.json: metrics: {e:?}")));
             check_metrics(metrics, "BENCH_search.json");
             check_serve_fleet(&doc);
+            check_serve_restart(&doc);
             check_events(&report.events_jsonl(), "search event stream");
             match baseline {
                 Some(b) => perf_gate(&b, &perf_figures(&doc, "fresh BENCH_search.json")),

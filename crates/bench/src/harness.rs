@@ -158,12 +158,19 @@ pub fn write_bench_search(
 ) -> PathBuf {
     let path = bench_search_path();
     // Sections owned by other harnesses survive the overwrite: the
-    // `serve_fleet` fan-in numbers come from `serve_bench fleet`, not
-    // from the search run this function snapshots.
-    let carried = std::fs::read_to_string(&path)
+    // `serve_fleet` fan-in numbers come from `serve_bench fleet` and the
+    // `serve_restart` store figures from `serve_bench restart`, not from
+    // the search run this function snapshots.
+    let carried: Vec<(String, Value)> = std::fs::read_to_string(&path)
         .ok()
         .and_then(|t| Value::parse(&t).ok())
-        .and_then(|doc| doc.field("serve_fleet").ok().cloned());
+        .map(|doc| {
+            ["serve_fleet", "serve_restart"]
+                .iter()
+                .filter_map(|k| doc.field(k).ok().map(|v| (k.to_string(), v.clone())))
+                .collect()
+        })
+        .unwrap_or_default();
     let mut doc = obj([
         ("best_time", Value::Float(result.best_time)),
         ("explored", Value::UInt(result.explored as u64)),
@@ -181,8 +188,8 @@ pub fn write_bench_search(
             Value::parse(&report.metrics_json()).expect("own snapshot parses"),
         ),
     ]);
-    if let (Value::Object(fields), Some(fleet)) = (&mut doc, carried) {
-        fields.push(("serve_fleet".to_string(), fleet));
+    if let Value::Object(fields) = &mut doc {
+        fields.extend(carried);
     }
     let mut text = doc.to_string_pretty();
     text.push('\n');

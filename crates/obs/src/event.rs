@@ -187,6 +187,16 @@ pub enum Event {
         /// Whether peak memory exceeded device capacity.
         oom: bool,
     },
+    /// A persistent-store entry could not be used (corrupt, truncated,
+    /// foreign, or future-version file) and the profile database was
+    /// rebuilt fresh instead of erroring (server-level only, mirroring
+    /// the spool contract of [`Event::SearchRestarted`]).
+    StoreDegraded {
+        /// Store file name the unusable entry lived under.
+        file: String,
+        /// Why the entry was rejected.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -206,6 +216,7 @@ impl Event {
             Event::SearchResumed { .. } => "search_resumed",
             Event::SearchRestarted { .. } => "search_restarted",
             Event::SimRun { .. } => "sim_run",
+            Event::StoreDegraded { .. } => "store_degraded",
         }
     }
 
@@ -376,6 +387,10 @@ impl Event {
                 put("schedule", Value::Str(schedule.to_string()));
                 put("oom", Value::Bool(*oom));
             }
+            Event::StoreDegraded { file, reason } => {
+                put("file", Value::Str(file.clone()));
+                put("reason", Value::Str(reason.clone()));
+            }
         }
         Value::Object(fields)
     }
@@ -500,6 +515,10 @@ impl Event {
                 schedule: interned("schedule")?,
                 oom: v.field("oom")?.as_bool()?,
             }),
+            "store_degraded" => Ok(Event::StoreDegraded {
+                file: v.field("file")?.as_str()?.to_string(),
+                reason: v.field("reason")?.as_str()?.to_string(),
+            }),
             other => Err(JsonError::shape(format!("unknown event kind `{other}`"))),
         }
     }
@@ -593,6 +612,10 @@ impl Event {
                 peak_memory: 1 << 30,
                 schedule: "1f1b",
                 oom: false,
+            },
+            Event::StoreDegraded {
+                file: "0000000000000007-000000000000002a.adb".to_string(),
+                reason: "checksum mismatch".to_string(),
             },
         ]
     }

@@ -90,11 +90,28 @@ pub enum Counter {
     /// pipelined request waited (one per waiting connection).
     /// **Scheduling-dependent**; server-level only.
     ServeFairnessDeferrals,
+    /// Cache misses resolved from the persistent on-disk profile store
+    /// instead of a fresh build; server-level only.
+    StoreHits,
+    /// Store consultations that found no usable entry (absent file, or
+    /// one that degraded to a rebuild); server-level only.
+    StoreMisses,
+    /// Profile databases written back to the persistent store after a
+    /// fresh build; server-level only.
+    StoreWrites,
+    /// Store entries evicted from disk by the LRU byte budget;
+    /// server-level only.
+    StoreEvictions,
+    /// Store entries that decoded cleanly but were skipped because their
+    /// precision mismatched the request's build (the in-memory merge
+    /// path's precision-filter rule, applied to the disk tier);
+    /// server-level only.
+    StoreRejected,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 32] = [
         Counter::PerfEvaluations,
         Counter::PerfIncrementalHits,
         Counter::PerfFullEvals,
@@ -122,6 +139,11 @@ impl Counter {
         Counter::ServeConnectionsOpen,
         Counter::ServePipelinedRequests,
         Counter::ServeFairnessDeferrals,
+        Counter::StoreHits,
+        Counter::StoreMisses,
+        Counter::StoreWrites,
+        Counter::StoreEvictions,
+        Counter::StoreRejected,
     ];
 
     /// The counter's snapshot-key name.
@@ -154,6 +176,11 @@ impl Counter {
             Counter::ServeConnectionsOpen => "serve_connections_open",
             Counter::ServePipelinedRequests => "serve_pipelined_requests",
             Counter::ServeFairnessDeferrals => "serve_fairness_deferrals",
+            Counter::StoreHits => "store_hits",
+            Counter::StoreMisses => "store_misses",
+            Counter::StoreWrites => "store_writes",
+            Counter::StoreEvictions => "store_evictions",
+            Counter::StoreRejected => "store_rejected",
         }
     }
 }

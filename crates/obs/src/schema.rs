@@ -49,7 +49,14 @@
 /// [`NONDETERMINISTIC_COUNTERS`]. They are server-level counters: they
 /// appear in daemon `stats` snapshots, never in per-request response
 /// metrics, so the per-request determinism contract is unaffected.
-pub const SCHEMA_VERSION: u64 = 7;
+///
+/// v8: the persistent profile-store counters `store_hits` /
+/// `store_misses` / `store_writes` / `store_evictions` /
+/// `store_rejected` and the `store_degraded` event were added. All are
+/// server-level (daemon `stats` snapshots only) and deterministic for a
+/// given request sequence against a given store directory; they stay
+/// zero when the daemon runs without `--store-dir`.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]
@@ -215,6 +222,11 @@ pub const EVENTS: &[EventSpec] = &[
             f("oom", "bool", "-"),
         ],
     },
+    EventSpec {
+        kind: "store_degraded",
+        doc: "an unusable persistent-store entry was discarded and the profile database rebuilt fresh (server-level only)",
+        fields: &[f("file", "string", "-"), f("reason", "string", "-")],
+    },
 ];
 
 /// Every counter name with its description, in snapshot order.
@@ -299,6 +311,26 @@ pub const COUNTERS: &[(&str, &str)] = &[
     (
         "serve_fairness_deferrals",
         "round-robin dispatches that preferred an idle connection while a pipelined request waited",
+    ),
+    (
+        "store_hits",
+        "cache misses resolved from the persistent on-disk profile store",
+    ),
+    (
+        "store_misses",
+        "store consultations that found no usable entry",
+    ),
+    (
+        "store_writes",
+        "profile databases written back to the persistent store",
+    ),
+    (
+        "store_evictions",
+        "store entries evicted from disk by the LRU byte budget",
+    ),
+    (
+        "store_rejected",
+        "decodable store entries skipped for precision mismatch",
     ),
 ];
 

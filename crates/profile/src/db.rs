@@ -435,6 +435,61 @@ impl ProfileDb {
             entries: RwLock::new(snap.entries.into_iter().collect()),
         })
     }
+
+    /// Canonical dump of every profiled entry as
+    /// `(sig, tp, dim, batch, time_bits)` tuples, sorted by key.
+    ///
+    /// Times are exported as raw [`f64::to_bits`] patterns so external
+    /// encoders (the on-disk profile store) can round-trip them
+    /// bit-exactly; the sort makes the dump deterministic regardless of
+    /// hash-map iteration order.
+    pub fn canonical_entries(&self) -> Vec<(u64, u32, u8, u64, u64)> {
+        let mut out: Vec<(u64, u32, u8, u64, u64)> = self
+            .entries
+            .read()
+            .expect("profile lock")
+            .iter()
+            .map(|(k, t)| (k.sig, k.tp, k.dim, k.batch, t.to_bits()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Reassembles a database from [`Self::canonical_entries`] output plus
+    /// the metadata the tuples do not carry.
+    ///
+    /// Times arrive as raw bit patterns ([`f64::from_bits`]), so a decode
+    /// through this constructor returns *exactly* the values the source
+    /// database held — the bit-identity contract the disk store's
+    /// differential suite enforces.
+    pub fn from_raw_parts(
+        cluster: ClusterSpec,
+        precision: Precision,
+        profiling_seconds: f64,
+        entries: impl IntoIterator<Item = (u64, u32, u8, u64, u64)>,
+    ) -> Self {
+        Self {
+            cluster,
+            precision,
+            profiling_seconds,
+            entries: RwLock::new(
+                entries
+                    .into_iter()
+                    .map(|(sig, tp, dim, batch, bits)| {
+                        (
+                            Key {
+                                sig,
+                                tp,
+                                dim,
+                                batch,
+                            },
+                            f64::from_bits(bits),
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +630,31 @@ mod tests {
         assert_eq!(err.theirs, Precision::Fp32);
         // The failed merge must leave the receiver untouched.
         assert_eq!(db_fp16.len(), before);
+    }
+
+    #[test]
+    fn canonical_entries_roundtrip_is_bit_exact() {
+        let (m, c) = setup();
+        let db = ProfileDb::build(&m, &c);
+        let dump = db.canonical_entries();
+        assert_eq!(dump.len(), db.len());
+        // Sorted and duplicate-free.
+        assert!(dump.windows(2).all(|w| w[0] < w[1]));
+        let back = ProfileDb::from_raw_parts(
+            c.clone(),
+            db.precision(),
+            db.simulated_profiling_seconds(),
+            dump.iter().copied(),
+        );
+        assert_eq!(back.canonical_entries(), dump);
+        for op in &m.ops {
+            for tp in [1u32, 2, 4] {
+                assert_eq!(
+                    back.op_fwd_time(op, tp, 0, 4).to_bits(),
+                    db.op_fwd_time(op, tp, 0, 4).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,13 @@
 //!   of its key; mixed-precision databases are never merged — timings
 //!   depend on the precision but entry keys do not encode it);
 //! * total resident size is bounded by an LRU byte budget over
-//!   [`ProfileDb::approx_bytes`].
+//!   [`ProfileDb::approx_bytes`];
+//! * optionally, a persistent second tier ([`aceso_store::Store`]): a
+//!   miss consults the on-disk store before building (a loaded entry is
+//!   bit-identical to a built one), a fresh build is written back, and
+//!   unusable files degrade to a rebuild plus a typed drainable event —
+//!   the cache is merely the store's client, the format contract lives
+//!   in `docs/STORE.md`.
 //!
 //! Sharing can never change a search result: `ProfileDb` lookups return
 //! identical values on hit and miss, so a cached, merged, or freshly
@@ -28,6 +34,7 @@
 use aceso_cluster::ClusterSpec;
 use aceso_model::ModelGraph;
 use aceso_profile::ProfileDb;
+use aceso_store::Store;
 use aceso_util::lockorder::{TrackedCondvar, TrackedGuard, TrackedMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +81,18 @@ pub struct ProfileCache {
     waiters: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional persistent second tier, consulted on a miss before
+    /// building and written back after a fresh build.
+    store: Option<Store>,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_writes: AtomicU64,
+    store_evictions: AtomicU64,
+    store_rejected: AtomicU64,
+    /// Degraded store files as `(file, reason)` pairs, drained by the
+    /// daemon into its `store_degraded` event stream. Never locked
+    /// while `state` is held.
+    degraded: TrackedMutex<Vec<(String, String)>>,
 }
 
 /// Clears a `Building` slot and wakes waiters if the build unwinds.
@@ -111,6 +130,24 @@ impl ProfileCache {
             waiters: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store: None,
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            store_evictions: AtomicU64::new(0),
+            store_rejected: AtomicU64::new(0),
+            degraded: TrackedMutex::new("profile-cache.degraded", Vec::new()),
+        }
+    }
+
+    /// [`ProfileCache::new`] with a persistent on-disk second tier. The
+    /// store is consulted lazily on misses only, so opening it costs
+    /// O(1) regardless of how many entries it holds — daemon startup
+    /// never scans the store directory.
+    pub fn with_store(budget_bytes: u64, store: Store) -> Self {
+        Self {
+            store: Some(store),
+            ..Self::new(budget_bytes)
         }
     }
 
@@ -216,9 +253,19 @@ impl ProfileCache {
             armed: true,
         };
 
-        // Build outside the lock: profiling is the expensive part and
-        // other keys must stay servable meanwhile.
-        let mut db = build(model, cluster);
+        // Disk tier first, then a real build — both outside the lock:
+        // profiling and store I/O are the expensive parts and other keys
+        // must stay servable meanwhile. A fresh build is written back
+        // pre-merge, so the entry on disk is exactly what a cold build
+        // produces and a later load stays bit-identical to building.
+        let mut db = match self.load_from_store(key, model.precision) {
+            Some(db) => db,
+            None => {
+                let db = build(model, cluster);
+                self.write_back(key, &db);
+                db
+            }
+        };
         // The entry's accounted cost is its own build size: entries
         // folded in below are shared with (and already accounted by)
         // their resident owners.
@@ -291,6 +338,57 @@ impl ProfileCache {
         }
     }
 
+    /// Consults the persistent tier for `key`. Exactly one of the store
+    /// counters advances per consultation; a degraded file is queued for
+    /// the daemon's event stream. `None` means "build it fresh".
+    fn load_from_store(
+        &self,
+        key: (u64, u64),
+        precision: aceso_model::Precision,
+    ) -> Option<ProfileDb> {
+        let store = self.store.as_ref()?;
+        match store.load(key.0, key.1) {
+            Ok(Some(db)) => {
+                if db.precision() == precision {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(db)
+                } else {
+                    // The in-memory merge path's precision-filter rule,
+                    // applied to the disk tier: mixed-precision timings
+                    // are never interchangeable, so the entry is skipped
+                    // and the request builds fresh.
+                    self.store_rejected.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+            Ok(None) => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(degraded) => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                self.degraded
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((degraded.file, degraded.reason.to_string()));
+                None
+            }
+        }
+    }
+
+    /// Writes a freshly built database back to the persistent tier.
+    /// Best-effort: a full or read-only disk must not fail the request.
+    fn write_back(&self, key: (u64, u64), db: &ProfileDb) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        if let Ok(evicted) = store.save(key.0, key.1, db) {
+            self.store_writes.fetch_add(1, Ordering::Relaxed);
+            self.store_evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Lifetime cache hits (exact-key or shared-build).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -313,6 +411,37 @@ impl ProfileCache {
     /// Whether no database is resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime misses resolved from the persistent store.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime store consultations that found no usable entry.
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime databases written back to the persistent store.
+    pub fn store_writes(&self) -> u64 {
+        self.store_writes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime store entries evicted from disk by the byte budget.
+    pub fn store_evictions(&self) -> u64 {
+        self.store_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime store entries skipped for precision mismatch.
+    pub fn store_rejected(&self) -> u64 {
+        self.store_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Drains queued `(file, reason)` store degradations for the
+    /// daemon's event stream.
+    pub fn drain_degraded(&self) -> Vec<(String, String)> {
+        std::mem::take(&mut *self.degraded.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Total approximate bytes of resident databases.
@@ -590,6 +719,96 @@ mod tests {
             gate.wait();
         });
         assert_eq!(cache.misses(), 3, "builder + two fallback builds");
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aceso-cache-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A "restart": a second cache sharing the first one's store
+    /// directory resolves its cold miss from disk, bit-identically.
+    #[test]
+    fn store_tier_survives_cache_restart_bit_identically() {
+        let dir = store_dir("restart");
+        let m = small("a", 2);
+        let c = ClusterSpec::v100(1, 2);
+        let first = ProfileCache::with_store(u64::MAX, Store::open(&dir, u64::MAX).expect("open"));
+        let (built, hit) = first.get_or_build(&m, &c);
+        assert!(!hit);
+        assert_eq!(first.store_misses(), 1, "cold store");
+        assert_eq!(first.store_writes(), 1, "fresh build written back");
+        drop(first);
+        let second = ProfileCache::with_store(u64::MAX, Store::open(&dir, u64::MAX).expect("open"));
+        let (loaded, hit) = second.get_or_build(&m, &c);
+        assert!(!hit, "a store load is not a memory hit");
+        assert_eq!(second.store_hits(), 1);
+        assert_eq!(second.store_writes(), 0, "loads are not re-written");
+        assert_eq!(
+            loaded.canonical_entries(),
+            built.canonical_entries(),
+            "loaded entries return the same f64 bit patterns"
+        );
+        // Next lookup on the second cache is a plain memory hit.
+        let (_db, hit) = second.get_or_build(&m, &c);
+        assert!(hit);
+        assert_eq!(second.store_hits(), 1, "store consulted on misses only");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The write-back precision-filter rule: a decodable store entry
+    /// whose precision mismatches the request's build is skipped and
+    /// counted, never merged. (An honest writer cannot produce one —
+    /// the model fingerprint hashes the precision — so this plants a
+    /// mismatched entry through the store API directly.)
+    #[test]
+    fn store_precision_mismatch_is_rejected_not_merged() {
+        let dir = store_dir("precision");
+        let m = small("a", 2);
+        let c = ClusterSpec::v100(1, 2);
+        let mut fp32 = small("a", 2);
+        fp32.precision = Precision::Fp32;
+        let key = (model_fingerprint(&m), cluster_fingerprint(&c));
+        let store = Store::open(&dir, u64::MAX).expect("open");
+        store
+            .save(key.0, key.1, &ProfileDb::build(&fp32, &c))
+            .expect("plant mismatched entry");
+        let cache = ProfileCache::with_store(u64::MAX, store);
+        let (db, hit) = cache.get_or_build(&m, &c);
+        assert!(!hit);
+        assert_eq!(cache.store_rejected(), 1);
+        assert_eq!(cache.store_hits(), 0);
+        assert_eq!(db.precision(), Precision::Fp16, "built fresh");
+        // The fresh build's write-back healed the planted entry.
+        let again = ProfileCache::with_store(u64::MAX, Store::open(&dir, u64::MAX).expect("open"));
+        let (_db, _) = again.get_or_build(&m, &c);
+        assert_eq!(again.store_hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupt store file degrades to a fresh build plus a drainable
+    /// typed event — never an error.
+    #[test]
+    fn corrupt_store_entry_degrades_with_typed_reason() {
+        let dir = store_dir("degrade");
+        let m = small("a", 2);
+        let c = ClusterSpec::v100(1, 2);
+        let key = (model_fingerprint(&m), cluster_fingerprint(&c));
+        let store = Store::open(&dir, u64::MAX).expect("open");
+        let file = aceso_store::entry_name(key.0, key.1);
+        std::fs::write(dir.join(&file), "not a store file\n").expect("corrupt");
+        let cache = ProfileCache::with_store(u64::MAX, store);
+        let (_db, hit) = cache.get_or_build(&m, &c);
+        assert!(!hit);
+        assert_eq!(cache.store_misses(), 1, "degrade counts as a miss");
+        let drained = cache.drain_degraded();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, file);
+        assert!(!drained[0].1.is_empty(), "reason is typed and non-empty");
+        assert!(cache.drain_degraded().is_empty(), "drain empties the queue");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -276,8 +276,27 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) -> ObsReport {
     let mut cache_released = false;
     let mut read_buf = vec![0u8; READ_CHUNK];
 
+    // Spool hygiene runs inline from the event loop instead of a
+    // dedicated sweeper thread: one sweep at startup, then one whenever
+    // a TTL has elapsed since the last. The sweep is O(dir entries) and
+    // best-effort, so stealing one loop iteration for it is cheap.
+    let spool_ttl = match (&shared.opts.spool_dir, shared.opts.spool_ttl_secs) {
+        (Some(dir), Some(ttl)) if ttl > 0 => (dir.clone(), Duration::from_secs(ttl)).into(),
+        _ => None,
+    };
+    if let Some((dir, ttl)) = &spool_ttl {
+        crate::server::sweep_spools(dir, *ttl);
+    }
+    let mut last_sweep = Instant::now();
+
     loop {
         let mut progress = false;
+        if let Some((dir, ttl)) = &spool_ttl {
+            if last_sweep.elapsed() >= *ttl {
+                crate::server::sweep_spools(dir, *ttl);
+                last_sweep = Instant::now();
+            }
+        }
         let draining = shared.draining.load(Ordering::SeqCst);
         if draining && !cache_released {
             // Same order as the blocking drain: release coalesced cache

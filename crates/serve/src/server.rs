@@ -86,6 +86,16 @@ pub struct ServeOptions {
     /// and is closed. `0` (the default) means unlimited. The blocking
     /// front-end ignores this knob — its natural cap is thread count.
     pub max_connections: usize,
+    /// Directory of the persistent profile store — the disk tier under
+    /// the [`ProfileCache`]. When set, cache misses consult the store
+    /// before building and fresh builds are written back, so profile
+    /// databases survive daemon restarts (see `docs/STORE.md`). `None`
+    /// (the default) keeps the cache memory-only.
+    pub store_dir: Option<PathBuf>,
+    /// LRU byte budget of the on-disk store; least-recently-used
+    /// entries are evicted past it. Only meaningful with
+    /// [`ServeOptions::store_dir`].
+    pub store_budget_bytes: u64,
 }
 
 impl Default for ServeOptions {
@@ -103,6 +113,8 @@ impl Default for ServeOptions {
             spool_ttl_secs: None,
             reactor: false,
             max_connections: 0,
+            store_dir: None,
+            store_budget_bytes: 256 << 20,
         }
     }
 }
@@ -138,11 +150,20 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// Snapshot of the server-level counters and resume/restart events
-    /// as an [`ObsReport`] (the serve counter group of
-    /// `docs/OBSERVABILITY.md`, schema v7).
+    /// Snapshot of the server-level counters and resume/restart/degrade
+    /// events as an [`ObsReport`] (the serve counter group of
+    /// `docs/OBSERVABILITY.md`, schema v8).
     pub(crate) fn report(&self) -> ObsReport {
-        let events = self.server_events.lock().expect("event lock").clone();
+        let events = {
+            // Absorb store degradations queued since the last snapshot
+            // into the durable server-event log first, so every later
+            // snapshot still carries them.
+            let mut events = self.server_events.lock().expect("event lock");
+            for (file, reason) in self.cache.drain_degraded() {
+                events.push(Event::StoreDegraded { file, reason });
+            }
+            events.clone()
+        };
         let rec = Recorder::from_parts(events, Metrics::default());
         rec.add(Counter::ProfileCacheHits, self.cache.hits());
         rec.add(Counter::ProfileCacheMisses, self.cache.misses());
@@ -178,6 +199,11 @@ impl Shared {
             Counter::ServeFairnessDeferrals,
             self.fairness_deferrals.load(Ordering::Relaxed),
         );
+        rec.add(Counter::StoreHits, self.cache.store_hits());
+        rec.add(Counter::StoreMisses, self.cache.store_misses());
+        rec.add(Counter::StoreWrites, self.cache.store_writes());
+        rec.add(Counter::StoreEvictions, self.cache.store_evictions());
+        rec.add(Counter::StoreRejected, self.cache.store_rejected());
         let mut report = ObsReport::new();
         report.absorb(rec);
         report
@@ -223,8 +249,15 @@ impl Server {
     pub fn bind(addr: &str, opts: ServeOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let cache = match &opts.store_dir {
+            Some(dir) => ProfileCache::with_store(
+                opts.cache_bytes,
+                aceso_store::Store::open(dir, opts.store_budget_bytes)?,
+            ),
+            None => ProfileCache::new(opts.cache_bytes),
+        };
         let shared = Arc::new(Shared {
-            cache: ProfileCache::new(opts.cache_bytes),
+            cache,
             opts,
             addr,
             draining: AtomicBool::new(false),
@@ -256,14 +289,12 @@ impl Server {
     /// readiness-driven reactor ([`crate::reactor`]) instead of a thread
     /// per connection; the drain-and-report contract is identical.
     pub fn run(self) -> ObsReport {
-        let sweeper = self.spawn_spool_sweeper();
         if self.shared.opts.reactor {
-            let report = crate::reactor::run(&self.listener, &self.shared);
-            if let Some(handle) = sweeper {
-                let _ = handle.join();
-            }
-            return report;
+            // The reactor sweeps spools from its own event loop (no
+            // dedicated thread): one sweep at startup, then one per TTL.
+            return crate::reactor::run(&self.listener, &self.shared);
         }
+        let sweeper = self.spawn_spool_sweeper();
         for conn in self.listener.incoming() {
             if self.shared.draining.load(Ordering::SeqCst) {
                 break;
@@ -317,31 +348,14 @@ impl Server {
 
 /// Removes every spool artifact in `dir` (`.ckpt` checkpoints and
 /// `.ckpt.tmp` write leftovers) whose last modification is older than
-/// `ttl`, returning how many files were pruned. Files the sweep cannot
-/// stat or remove are skipped — the sweep is hygiene, never load-bearing.
+/// `ttl`, returning how many files were pruned. Built on the shared
+/// retention policies in [`aceso_util::retention`] — the same scan +
+/// TTL machinery the profile store's eviction uses — and best-effort
+/// throughout: the sweep is hygiene, never load-bearing.
 pub fn sweep_spools(dir: &Path, ttl: Duration) -> usize {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return 0;
-    };
-    let mut pruned = 0usize;
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if !(name.ends_with(".ckpt") || name.ends_with(".ckpt.tmp")) {
-            continue;
-        }
-        let aged = entry
-            .metadata()
-            .and_then(|m| m.modified())
-            .ok()
-            .and_then(|t| t.elapsed().ok())
-            .is_some_and(|age| age >= ttl);
-        if aged && std::fs::remove_file(&path).is_ok() {
-            pruned += 1;
-        }
-    }
-    pruned
+    let files = aceso_util::retention::scan_dir(dir, &[".ckpt", ".ckpt.tmp"]);
+    let expired = aceso_util::retention::expired(&files, ttl, std::time::SystemTime::now());
+    aceso_util::retention::remove_all(&expired)
 }
 
 /// True when an i/o error is a socket deadline expiring. Both kinds

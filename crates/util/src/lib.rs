@@ -8,6 +8,7 @@
 pub mod hash;
 pub mod json;
 pub mod lockorder;
+pub mod retention;
 pub mod rng;
 pub mod stats;
 pub mod table;

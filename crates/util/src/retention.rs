@@ -1,0 +1,195 @@
+//! Shared file-retention policies.
+//!
+//! Two daemon-side subsystems shed old files: the spool directory drops
+//! request checkpoints whose owners never came back (TTL), and the
+//! profile store evicts least-recently-used entries past a byte budget
+//! (LRU). Both reduce to the same two steps — scan a directory for
+//! files with a given suffix, then pick victims by modification time —
+//! so both live here rather than growing two divergent copies.
+//!
+//! Everything is best-effort: an unreadable directory or a file that
+//! vanishes mid-scan (another daemon swept it first) is skipped, never
+//! an error. Retention is hygiene, not correctness.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// One candidate file from a retention scan.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Absolute path of the file.
+    pub path: PathBuf,
+    /// Last-modified time (the retention clock).
+    pub modified: SystemTime,
+    /// Size in bytes.
+    pub len: u64,
+}
+
+/// Scans `dir` (non-recursively) for regular files whose name ends with
+/// any of `suffixes`, returning their metadata sorted oldest-first.
+///
+/// Missing or unreadable directories and entries yield an empty/partial
+/// list rather than an error — a concurrent sweeper may be removing
+/// entries while we walk.
+pub fn scan_dir(dir: &Path, suffixes: &[&str]) -> Vec<FileMeta> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !suffixes.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let modified = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        out.push(FileMeta {
+            path,
+            modified,
+            len: meta.len(),
+        });
+    }
+    out.sort_by(|a, b| a.modified.cmp(&b.modified).then(a.path.cmp(&b.path)));
+    out
+}
+
+/// TTL policy: files from `files` whose age (relative to `now`) exceeds
+/// `ttl`. A file with a modification time in the future counts as age
+/// zero (clock skew, never expired).
+pub fn expired(files: &[FileMeta], ttl: Duration, now: SystemTime) -> Vec<&FileMeta> {
+    files
+        .iter()
+        .filter(|f| {
+            now.duration_since(f.modified)
+                .map(|age| age > ttl)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Byte-budget LRU policy: the oldest files from `files` (which must be
+/// sorted oldest-first, as [`scan_dir`] returns) whose removal brings
+/// the total size within `budget`. Files whose path is in `keep` are
+/// never selected and always count toward the total.
+pub fn over_budget_lru<'a>(
+    files: &'a [FileMeta],
+    budget: u64,
+    keep: &[&Path],
+) -> Vec<&'a FileMeta> {
+    let mut total: u64 = files.iter().map(|f| f.len).sum();
+    let mut victims = Vec::new();
+    for f in files {
+        if total <= budget {
+            break;
+        }
+        if keep.contains(&f.path.as_path()) {
+            continue;
+        }
+        total = total.saturating_sub(f.len);
+        victims.push(f);
+    }
+    victims
+}
+
+/// Removes every file in `victims`, returning how many removals
+/// succeeded. A file another daemon already removed is not counted.
+pub fn remove_all(victims: &[&FileMeta]) -> usize {
+    victims
+        .iter()
+        .filter(|f| std::fs::remove_file(&f.path).is_ok())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aceso-retention-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    fn touch(dir: &Path, name: &str, len: usize, age: Duration) -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, vec![b'x'; len]).expect("write");
+        // Ages are simulated by passing `now` forward instead of mutating
+        // mtimes (std cannot set them); this helper just records intent.
+        let _ = age;
+        path
+    }
+
+    #[test]
+    fn scan_filters_by_suffix_and_sorts() {
+        let dir = tmpdir("scan");
+        touch(&dir, "a.ckpt", 10, Duration::ZERO);
+        touch(&dir, "b.adb", 20, Duration::ZERO);
+        touch(&dir, "c.tmp", 30, Duration::ZERO);
+        let files = scan_dir(&dir, &[".ckpt", ".adb"]);
+        let names: Vec<_> = files
+            .iter()
+            .map(|f| f.path.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(files.len(), 2);
+        assert!(names.contains(&"a.ckpt".to_string()));
+        assert!(names.contains(&"b.adb".to_string()));
+        assert!(files.windows(2).all(|w| w[0].modified <= w[1].modified));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_of_missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join("aceso-retention-nonexistent-dir");
+        assert!(scan_dir(&dir, &[".ckpt"]).is_empty());
+    }
+
+    #[test]
+    fn ttl_policy_selects_only_old_files() {
+        let dir = tmpdir("ttl");
+        touch(&dir, "old.ckpt", 1, Duration::ZERO);
+        let files = scan_dir(&dir, &[".ckpt"]);
+        // With `now` far in the future everything is expired …
+        let future = SystemTime::now() + Duration::from_secs(3600);
+        assert_eq!(expired(&files, Duration::from_secs(60), future).len(), 1);
+        // … with `now` at the modification time nothing is.
+        assert!(expired(&files, Duration::from_secs(60), files[0].modified).is_empty());
+        // Future mtimes (clock skew) never expire.
+        let past = SystemTime::UNIX_EPOCH;
+        assert!(expired(&files, Duration::ZERO, past).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_policy_evicts_oldest_until_within_budget() {
+        let dir = tmpdir("lru");
+        // Equal mtimes tie-break on path, so names give a stable order.
+        let a = touch(&dir, "a.adb", 100, Duration::ZERO);
+        touch(&dir, "b.adb", 100, Duration::ZERO);
+        touch(&dir, "c.adb", 100, Duration::ZERO);
+        let files = scan_dir(&dir, &[".adb"]);
+        // Budget for two files → one victim, the oldest.
+        let victims = over_budget_lru(&files, 200, &[]);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].path, files[0].path);
+        // Under budget → no victims.
+        assert!(over_budget_lru(&files, 300, &[]).is_empty());
+        // A kept file is skipped; the next-oldest goes instead.
+        let victims = over_budget_lru(&files, 200, &[files[0].path.as_path()]);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].path, files[1].path);
+        // Zero budget with everything kept → nothing to remove.
+        let keep: Vec<&Path> = files.iter().map(|f| f.path.as_path()).collect();
+        assert!(over_budget_lru(&files, 0, &keep).is_empty());
+        let _ = a;
+        let removed = remove_all(&over_budget_lru(&files, 0, &[]));
+        assert_eq!(removed, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,6 +18,8 @@
 //!   transforms, perf model and search traces.
 //! * [`serve`] — long-lived TCP search daemon with a cross-request
 //!   profile cache (wire contract in `docs/SERVER.md`).
+//! * [`store`] — versioned, fingerprint-addressed on-disk store of
+//!   profile databases; the cache's second tier (`docs/STORE.md`).
 //!
 //! # Quickstart
 //!
@@ -48,6 +50,7 @@ pub use aceso_perf as perf;
 pub use aceso_profile as profile;
 pub use aceso_runtime as runtime;
 pub use aceso_serve as serve;
+pub use aceso_store as store;
 pub use aceso_util as util;
 
 // Compile and run the README's quickstart code block as a doctest so the
@@ -78,6 +81,8 @@ usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
              [--max-deepnet-layers L] [--io-timeout-secs S]
              [--spool-dir DIR] [--checkpoint-every I]
              [--spool-ttl-secs S] [--reactor] [--max-connections N]
+             [--store-dir DIR] [--store-budget-bytes N]
+       aceso store (ls | verify | prune) --dir DIR
        aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
              [--zero] [--iterations I] [--budget-secs S] [--seed K]
              [--search-threads N] [--request-id ID] [--retries N]
@@ -156,6 +161,23 @@ serve: run the search daemon (wire contract in docs/SERVER.md)
   --max-connections N  reactor only: reject further connections with a
                     typed `connection-limit` error while N are open
                     (default 0 = unlimited)
+  --store-dir DIR   persist built profile databases here and reload them
+                    across restarts; a corrupt, truncated, foreign or
+                    future-version entry degrades to a fresh build and a
+                    `store_degraded` event (docs/STORE.md; default: no
+                    persistent store)
+  --store-budget-bytes N  on-disk byte budget for --store-dir; the
+                    least-recently-used entries are evicted once the
+                    total exceeds N (default 268435456)
+
+store: inspect or repair a --store-dir directory (docs/STORE.md)
+  ls                list every store entry with size, schema version,
+                    entry count and status
+  verify            exit 1 if any entry would degrade when loaded
+                    (corrupt, truncated, foreign or future-version);
+                    leftover temp files are not findings
+  prune             delete undecodable entries and abandoned temp files
+  --dir DIR         the store directory to operate on (required)
 
 submit: send one search to a daemon and collect the streamed response
   --iterations I    per-stage-count iteration budget (default 48); the

@@ -9,7 +9,8 @@
 //! and simulated performance, and optionally writes the per-rank execution
 //! plan. `aceso serve` runs the same search as a long-lived daemon with a
 //! cross-request profile cache; `aceso submit` talks to it; `aceso
-//! obs-diff` compares two metric snapshots.
+//! store` inspects the daemon's on-disk profile store; `aceso obs-diff`
+//! compares two metric snapshots.
 
 use aceso::cli::USAGE;
 use aceso::model::zoo;
@@ -114,6 +115,99 @@ fn run_audit(mut it: impl Iterator<Item = String>) -> ! {
     std::process::exit(if report.clean() { 0 } else { 1 });
 }
 
+/// Runs `aceso store (ls|verify|prune) --dir DIR` and exits: 0 when the
+/// store is clean (or listed / pruned), 1 when `verify` reports
+/// findings, 2 on bad usage or an unreadable directory.
+fn run_store(mut it: impl Iterator<Item = String>) -> ! {
+    let action = match it.next().as_deref() {
+        Some(a @ ("ls" | "verify" | "prune")) => a.to_string(),
+        Some("--help" | "-h") => {
+            eprintln!("{USAGE}");
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!("error: store needs an action (ls | verify | prune)\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        Some(other) => {
+            eprintln!("error: unknown store action `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut dir: Option<std::path::PathBuf> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => match it.next() {
+                Some(v) => dir = Some(std::path::PathBuf::from(v)),
+                None => {
+                    eprintln!("error: missing value for --dir\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown store flag `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("error: store {action} requires --dir\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    // Inspection never writes entries, so the byte budget is moot.
+    let store = aceso::store::Store::open(&dir, u64::MAX).unwrap_or_else(|e| {
+        eprintln!("error: cannot open store {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    match action.as_str() {
+        "ls" => {
+            let entries = store.ls();
+            println!("{} entries in {}", entries.len(), dir.display());
+            for e in entries {
+                let version = e
+                    .schema_version
+                    .map_or_else(|| "-".to_string(), |v| v.to_string());
+                let ops = e.entries.map_or_else(|| "-".to_string(), |n| n.to_string());
+                let status = match &e.status {
+                    Ok(()) => "ok".to_string(),
+                    Err(reason) => reason.to_string(),
+                };
+                println!(
+                    "{}  {} B  v{version}  {ops} entries  {status}",
+                    e.file, e.bytes
+                );
+            }
+            std::process::exit(0);
+        }
+        "verify" => {
+            let findings: Vec<_> = store
+                .ls()
+                .into_iter()
+                .filter_map(|e| e.status.err().map(|r| (e.file, r)))
+                .collect();
+            for (file, reason) in &findings {
+                println!("{file}: {reason}");
+            }
+            println!(
+                "{} finding{} in {}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+                dir.display()
+            );
+            std::process::exit(if findings.is_empty() { 0 } else { 1 });
+        }
+        _ => {
+            let removed = store.prune();
+            println!("pruned {removed} files from {}", dir.display());
+            std::process::exit(0);
+        }
+    }
+}
+
 /// Runs `aceso serve` and exits when the daemon drains.
 fn run_serve(mut it: impl Iterator<Item = String>) -> ! {
     let mut addr = "127.0.0.1:7100".to_string();
@@ -178,6 +272,14 @@ fn run_serve(mut it: impl Iterator<Item = String>) -> ! {
                 v.parse::<usize>()
                     .map(|n| opts.max_connections = n)
                     .map_err(|e| format!("--max-connections: {e}"))
+            }),
+            "--store-dir" => {
+                value("--store-dir").map(|v| opts.store_dir = Some(std::path::PathBuf::from(v)))
+            }
+            "--store-budget-bytes" => value("--store-budget-bytes").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| opts.store_budget_bytes = n)
+                    .map_err(|e| format!("--store-budget-bytes: {e}"))
             }),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -591,6 +693,10 @@ fn main() {
         Some("serve") => {
             argv.next();
             run_serve(argv);
+        }
+        Some("store") => {
+            argv.next();
+            run_store(argv);
         }
         Some("submit") => {
             argv.next();

@@ -243,7 +243,58 @@ fn no_counter_is_silently_dead() {
     let server_report = handle.join().expect("server thread");
     let _ = std::fs::remove_dir_all(&spool);
 
+    // Scenario 5: two store-enabled daemons sharing one `--store-dir` —
+    // the v8 store counters live in server-level reports only. Daemon A
+    // rejects a planted mismatched-precision entry (`store_rejected`),
+    // misses on an absent one (`store_misses`), writes both builds back
+    // (`store_writes`), and its 1-byte disk budget evicts the older
+    // entry (`store_evictions`); daemon B then resolves its cold miss
+    // from the surviving entry (`store_hits`).
+    let store_dir = std::env::temp_dir().join(format!("aceso-obs-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut fp32 = aceso::model::zoo::by_name("deepnet-8l").unwrap();
+    fp32.precision = aceso::model::Precision::Fp32;
+    let plant_cluster = ClusterSpec::v100_gpus(2);
+    let store = aceso::store::Store::open(&store_dir, u64::MAX).expect("store opens");
+    store
+        .save(
+            aceso::serve::model_fingerprint(&aceso::model::zoo::by_name("deepnet-8l").unwrap()),
+            aceso::serve::cluster_fingerprint(&plant_cluster),
+            &ProfileDb::build(&fp32, &plant_cluster),
+        )
+        .expect("plant mismatched-precision entry");
+    let run_store_daemon = |budget: u64, models: &[&str]| {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeOptions {
+                store_dir: Some(store_dir.clone()),
+                store_budget_bytes: budget,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("binds an ephemeral port");
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        for model in models {
+            let req = Request {
+                model: (*model).into(),
+                gpus: 2,
+                max_iterations: 2,
+                ..Request::default()
+            };
+            aceso::serve::submit(&addr, &req).expect("store-daemon submit");
+        }
+        aceso::serve::shutdown(&addr).expect("shutdown");
+        handle.join().expect("store daemon thread")
+    };
+    let store_report_a = run_store_daemon(1, &["deepnet-8l", "deepnet-12l"]);
+    let store_report_b = run_store_daemon(u64::MAX, &["deepnet-12l"]);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     obs.absorb(rec);
+    let served = |c: Counter| {
+        server_report.counter(c) + store_report_a.counter(c) + store_report_b.counter(c)
+    };
     for c in Counter::ALL {
         // Scheduling-dependent counters only move when the work-stealing
         // frontier pool actually steals, which a single-threaded scenario
@@ -254,7 +305,7 @@ fn no_counter_is_silently_dead() {
             continue;
         }
         assert!(
-            obs.counter(c) + server_report.counter(c) > 0,
+            obs.counter(c) + served(c) > 0,
             "counter `{}` stayed zero across the scenario suite — it is \
              silently dead; wire it to a production path or drop it from \
              the schema with a version bump",

@@ -1,0 +1,246 @@
+//! Integration tests for the persistent profile store (`aceso-store`).
+//!
+//! The central claim under test: **the store tier changes nothing about
+//! profile data or served results**. A profile database loaded from disk
+//! is bit-identical to the one that was built — every `f64` compared by
+//! bit pattern, over the model-zoo corpus (INV-STORE-BITEXACT) — and a
+//! daemon restarted onto a warm store serves byte-identical responses
+//! while skipping the profile build. Damage degrades, never errors
+//! (INV-STORE-DEGRADE), and concurrent daemons may share one directory
+//! (INV-STORE-ATOMIC).
+
+use aceso::obs::Counter;
+use aceso::prelude::*;
+use aceso::serve::{self, cluster_fingerprint, model_fingerprint, Request, ServeOptions, Server};
+use aceso::store::{entry_name, Store};
+use std::path::PathBuf;
+
+/// A per-test scratch directory under the system temp dir.
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aceso-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp store dir");
+    dir
+}
+
+/// Binds an ephemeral-port daemon and runs it on a background thread.
+fn start(opts: ServeOptions) -> (String, std::thread::JoinHandle<aceso::obs::ObsReport>) {
+    let server = Server::bind("127.0.0.1:0", opts).expect("binds an ephemeral port");
+    let addr = server.local_addr().to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// Store-enabled options with a budget large enough to never evict.
+fn store_opts(dir: &std::path::Path) -> ServeOptions {
+    ServeOptions {
+        store_dir: Some(dir.to_path_buf()),
+        ..ServeOptions::default()
+    }
+}
+
+/// INV-STORE-BITEXACT over the model-zoo corpus: one model per family ×
+/// both audit cluster presets. Every profiled time must survive the
+/// save/load round trip with its exact bit pattern — `canonical_entries`
+/// compares `f64::to_bits`, so `assert_eq!` here is bit-equality, not
+/// epsilon-equality.
+#[test]
+fn zoo_corpus_round_trips_bit_identically() {
+    let dir = temp_store("zoo");
+    let store = Store::open(&dir, u64::MAX).expect("store opens");
+    let corpus = ["gpt3-0.35b", "t5-0.77b", "wresnet-0.5b", "deepnet-12l"];
+    let presets = [ClusterSpec::v100(1, 4), ClusterSpec::v100(1, 8)];
+    for name in corpus {
+        let model = aceso::model::zoo::by_name(name).expect("zoo model");
+        for cluster in &presets {
+            let built = ProfileDb::build(&model, cluster);
+            let (m, c) = (model_fingerprint(&model), cluster_fingerprint(cluster));
+            store.save(m, c, &built).expect("save succeeds");
+            let loaded = store
+                .load(m, c)
+                .expect("load never degrades on our own writes")
+                .expect("entry exists");
+            let ctx = format!("{name} on {} GPUs", cluster.total_gpus());
+            assert_eq!(
+                loaded.canonical_entries(),
+                built.canonical_entries(),
+                "{ctx}: every profiled time must round-trip bit-exactly"
+            );
+            assert_eq!(loaded.precision(), built.precision(), "{ctx}: precision");
+            assert_eq!(
+                loaded.simulated_profiling_seconds().to_bits(),
+                built.simulated_profiling_seconds().to_bits(),
+                "{ctx}: profiling seconds must round-trip bit-exactly"
+            );
+            assert_eq!(loaded.len(), built.len(), "{ctx}: entry count");
+        }
+    }
+    // Every written entry verifies clean under its own file name.
+    let entries = store.ls();
+    assert_eq!(entries.len(), corpus.len() * presets.len());
+    for e in &entries {
+        assert!(e.status.is_ok(), "{}: {:?}", e.file, e.status);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The two-tier contract across a daemon restart: daemon A builds and
+/// persists the profile, daemon B (same `--store-dir`) resolves its cache
+/// miss from disk — `store_hits` instead of a build — and serves a
+/// byte-identical response. A store load is *not* a cache hit: the
+/// response still reports `miss` and `profile_cache_misses` advances.
+#[test]
+fn daemon_restart_reuses_the_store_bit_identically() {
+    let dir = temp_store("restart");
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 71,
+        ..Request::default()
+    };
+
+    let (addr, handle) = start(store_opts(&dir));
+    let cold = serve::submit(&addr, &req).expect("cold submit");
+    serve::shutdown(&addr).expect("shutdown");
+    let report_a = handle.join().unwrap();
+    assert_eq!(report_a.counter(Counter::StoreMisses), 1);
+    assert_eq!(report_a.counter(Counter::StoreWrites), 1);
+    assert_eq!(report_a.counter(Counter::StoreHits), 0);
+
+    let (addr, handle) = start(store_opts(&dir));
+    let warm = serve::submit(&addr, &req).expect("restart submit");
+    serve::shutdown(&addr).expect("shutdown");
+    let report_b = handle.join().unwrap();
+
+    assert_eq!(warm.cache, "miss", "a store load is not a cache hit");
+    assert_eq!(
+        cold.events_jsonl(),
+        warm.events_jsonl(),
+        "restarted daemon must serve byte-identical events"
+    );
+    assert_eq!(
+        cold.result
+            .field("best_time_bits")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        warm.result
+            .field("best_time_bits")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        "best_time must match to the bit across the restart"
+    );
+    assert_eq!(report_b.counter(Counter::StoreHits), 1);
+    assert_eq!(report_b.counter(Counter::StoreMisses), 0);
+    assert_eq!(report_b.counter(Counter::StoreWrites), 0);
+    assert_eq!(report_b.counter(Counter::ProfileCacheMisses), 1);
+    assert_eq!(report_b.counter(Counter::ProfileCacheHits), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two live daemons sharing one `--store-dir` never corrupt it
+/// (INV-STORE-ATOMIC): both race to write the same entry, rename keeps
+/// whichever lands last intact, and a third daemon then reads it as a
+/// clean store hit.
+#[test]
+fn concurrent_daemons_share_one_store_dir() {
+    let dir = temp_store("shared");
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 83,
+        ..Request::default()
+    };
+
+    let (addr_a, handle_a) = start(store_opts(&dir));
+    let (addr_b, handle_b) = start(store_opts(&dir));
+    let (resp_a, resp_b) = std::thread::scope(|s| {
+        let a = {
+            let (addr, req) = (addr_a.clone(), req.clone());
+            s.spawn(move || serve::submit(&addr, &req).expect("daemon A submit"))
+        };
+        let b = {
+            let (addr, req) = (addr_b.clone(), req.clone());
+            s.spawn(move || serve::submit(&addr, &req).expect("daemon B submit"))
+        };
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    assert_eq!(
+        resp_a.events_jsonl(),
+        resp_b.events_jsonl(),
+        "racing daemons must serve identical bytes"
+    );
+    serve::shutdown(&addr_a).expect("shutdown A");
+    serve::shutdown(&addr_b).expect("shutdown B");
+    let (report_a, report_b) = (handle_a.join().unwrap(), handle_b.join().unwrap());
+    assert!(
+        report_a.counter(Counter::StoreWrites) + report_b.counter(Counter::StoreWrites) >= 1,
+        "at least one daemon persisted the build"
+    );
+
+    // The racing writes left exactly one clean entry; a third daemon
+    // resolves its miss from it without building.
+    let store = Store::open(&dir, u64::MAX).expect("store opens");
+    let entries = store.ls();
+    assert_eq!(entries.len(), 1, "one (model, cluster) key, one entry");
+    assert!(entries[0].status.is_ok(), "{:?}", entries[0].status);
+
+    let (addr_c, handle_c) = start(store_opts(&dir));
+    let resp_c = serve::submit(&addr_c, &req).expect("daemon C submit");
+    assert_eq!(resp_c.events_jsonl(), resp_a.events_jsonl());
+    serve::shutdown(&addr_c).expect("shutdown C");
+    let report_c = handle_c.join().unwrap();
+    assert_eq!(report_c.counter(Counter::StoreHits), 1);
+    assert_eq!(report_c.counter(Counter::StoreWrites), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// INV-STORE-DEGRADE through the wire: a corrupted entry costs the saved
+/// build, never the request. The daemon rebuilds, answers normally,
+/// surfaces a typed `store_degraded` event in its drain report, and the
+/// write-back heals the entry for the next daemon.
+#[test]
+fn corrupt_entry_degrades_to_a_fresh_build_and_heals() {
+    let dir = temp_store("corrupt");
+    let model = aceso::model::zoo::by_name("deepnet-8l").expect("zoo model");
+    let cluster = ClusterSpec::v100_gpus(2);
+    let name = entry_name(model_fingerprint(&model), cluster_fingerprint(&cluster));
+    std::fs::write(dir.join(&name), "not a store entry\n").expect("plant garbage");
+
+    let (addr, handle) = start(store_opts(&dir));
+    let req = Request {
+        model: "deepnet-8l".into(),
+        gpus: 2,
+        max_iterations: 8,
+        seed: 91,
+        ..Request::default()
+    };
+    serve::submit(&addr, &req).expect("a corrupt store entry must not fail the request");
+    serve::shutdown(&addr).expect("shutdown");
+    let report = handle.join().unwrap();
+    assert_eq!(
+        report.counter(Counter::StoreMisses),
+        1,
+        "degrade counts as a miss"
+    );
+    assert_eq!(
+        report.counter(Counter::StoreWrites),
+        1,
+        "the rebuild is written back"
+    );
+    assert_eq!(report.counter(Counter::StoreHits), 0);
+    let events = report.events_jsonl();
+    assert!(
+        events.contains("\"store_degraded\"") && events.contains(&name),
+        "the drain report must carry the typed degrade event: {events}"
+    );
+
+    // Healed: the write-back replaced the garbage with a clean entry.
+    let store = Store::open(&dir, u64::MAX).expect("store opens");
+    let entries = store.ls();
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].status.is_ok(), "{:?}", entries[0].status);
+    let _ = std::fs::remove_dir_all(&dir);
+}
