@@ -15,10 +15,14 @@
 # byte-identical to an uninterrupted reference), a store smoke (SIGKILL
 # a --store-dir daemon mid-run — `aceso store verify` must find no torn
 # entry, and a restarted daemon must serve off the surviving store), a
-# store-backed restart bench smoke, and a perf regression gate against
-# the committed BENCH_search.json (median of three runs; mean
-# evaluation latency must not regress by more than 1.5x; store-backed
-# restart latency must stay within 1.1x of a warm cache hit).
+# store-backed restart bench smoke, a chaos smoke (a seeded window of
+# whole-system fault schedules must violate no standing oracle, and the
+# store-direct-write mutation must be caught, shrunk to a replayable
+# trace, and reproduce on replay — docs/RELIABILITY.md), and a perf
+# regression gate against the committed BENCH_search.json (median of
+# three runs; mean evaluation latency must not regress by more than
+# 1.5x; store-backed restart latency must stay within 1.1x of a warm
+# cache hit).
 set -eu
 
 cd "$(dirname "$0")"
@@ -324,6 +328,32 @@ target/release/aceso submit --addr "$ADDR" --shutdown >/dev/null
 wait "$STORE_PID"
 trap - EXIT
 rm -rf "$STORE_TMP"
+
+echo "==> chaos smoke: seeded fault schedules clean, mutation gate trips"
+CHAOS_TMP=$(mktemp -d)
+# A fixed seed window of whole-system scenarios (filesystem faults,
+# network cuts, worker panics, concurrent generations) must violate no
+# standing oracle (docs/RELIABILITY.md, INV-CHAOS-ORACLE).
+target/release/aceso chaos run --seed-range 0..60 \
+    --trace-out "$CHAOS_TMP/trace.json"
+# Mutation gate: with the store's temp+rename discipline disabled
+# (INV-STORE-ATOMIC deliberately broken) the same window must catch a
+# torn entry and shrink it to a replayable trace (INV-CHAOS-SHRINK).
+if target/release/aceso chaos run --seed-range 0..60 \
+    --mutate store-direct-write \
+    --trace-out "$CHAOS_TMP/mutant.json" >/dev/null; then
+    echo "store-direct-write mutation was NOT caught"; rm -rf "$CHAOS_TMP"; exit 1
+fi
+[ -s "$CHAOS_TMP/mutant.json" ] || {
+    echo "mutant chaos run wrote no trace"; exit 1; }
+grep -q '"direct_writes": true' "$CHAOS_TMP/mutant.json" || {
+    echo "mutant trace lost the mutation switch"; exit 1; }
+# The shrunk trace must reproduce deterministically on replay
+# (INV-CHAOS-DETERMINISM: replay exits non-zero iff it reproduces).
+if target/release/aceso chaos replay "$CHAOS_TMP/mutant.json" >/dev/null; then
+    echo "shrunk mutant trace did not reproduce on replay"; rm -rf "$CHAOS_TMP"; exit 1
+fi
+rm -rf "$CHAOS_TMP"
 
 echo "==> restart smoke: store-backed restart stays in the warm-hit envelope"
 RESTART_TMP=$(mktemp -d)

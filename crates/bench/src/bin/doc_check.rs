@@ -117,6 +117,27 @@ const STRUCTURAL_TOKENS: &[&str] = &[
     "memory",
     // Simulator schedule names.
     "gpipe",
+    // Keyed chaos metric family and its fault-kind keys
+    // (docs/OBSERVABILITY.md, docs/RELIABILITY.md).
+    "chaos_faults_injected",
+    "eio",
+    "enospc",
+    "short_write",
+    "rename_fail",
+    "crash",
+    // Covering-test names and std idioms cited in the fault matrix
+    // (docs/RELIABILITY.md); tests/chaos_doc.rs checks the test names
+    // actually exist, this gate only needs to know they are not schema
+    // tokens.
+    "store_direct_write_mutant_is_caught_and_shrunk",
+    "write_atomic_cleans_its_temp_on_rename_failure",
+    "every_truncation_degrades_typed",
+    "shared_store_daemons_race_eviction_against_load_without_errors",
+    "no_counter_is_silently_dead",
+    "two_hundred_seeded_schedules_violate_no_oracle",
+    "submit_with_retries_deadline",
+    "retry_deadline_bounds_total_wall_clock",
+    "catch_unwind",
 ];
 
 /// The documentation set the gate covers.

@@ -1,0 +1,194 @@
+//! Seeded whole-system fault schedules and their replayable traces.
+//!
+//! A [`Schedule`] combines every fault dimension the engine can inject
+//! into one scenario: filesystem faults for each daemon generation
+//! ([`aceso_util::fsio::FaultSchedule`]), a network cut at a chosen
+//! frame boundary ([`aceso_serve::FaultMode::CutAfterFrames`]), an
+//! injected worker panic inside a profile build, and whether the two
+//! daemon generations overlap on one store directory. The whole
+//! schedule derives deterministically from one `u64` seed
+//! (INV-CHAOS-DETERMINISM): the same seed always produces the same
+//! schedule, and replaying a serialised schedule reproduces the same
+//! injected faults in the same order.
+
+use aceso_util::fsio::FaultSchedule;
+use aceso_util::json::{JsonError, Value};
+use aceso_util::SplitMix64;
+
+/// One whole-system chaos scenario's fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// The seed this schedule derives from (kept for traces; a hand-
+    /// edited replay file may carry events the seed would not generate).
+    pub seed: u64,
+    /// Filesystem faults injected into daemon generation A.
+    pub gen_a: FaultSchedule,
+    /// Filesystem faults injected into daemon generation B (the
+    /// post-restart daemon).
+    pub gen_b: FaultSchedule,
+    /// When set, generation A's submission is routed through a
+    /// [`aceso_serve::FaultProxy`] that severs the connection after
+    /// this many server→client frames — the client-visible face of a
+    /// daemon crash or partition mid-response.
+    pub net_cut: Option<u64>,
+    /// Inject a panicking profile-build worker (contained with
+    /// `catch_unwind`) against the shared store between generations.
+    pub panic_build: bool,
+    /// Overlap the two daemon generations on one store directory
+    /// instead of running them sequentially.
+    pub concurrent: bool,
+    /// Mutation-gate switch, never derived from the seed: run the
+    /// daemons' stores with temp+rename disabled
+    /// (`aceso chaos run --mutate store-direct-write`), deliberately
+    /// breaking INV-STORE-ATOMIC so the oracles can prove they catch
+    /// torn entries.
+    pub direct_writes: bool,
+}
+
+impl Schedule {
+    /// Derives the full scenario deterministically from `seed`
+    /// (INV-CHAOS-DETERMINISM). Fault density is tuned so roughly half
+    /// of all seeds inject at least one fault somewhere.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5EED);
+        let gen_a = FaultSchedule::from_seed(rng.next_u64(), 24, 2);
+        let gen_b = FaultSchedule::from_seed(rng.next_u64(), 24, 2);
+        let net_cut = if rng.next_u64().is_multiple_of(4) {
+            Some(rng.next_u64() % 4)
+        } else {
+            None
+        };
+        let panic_build = rng.next_u64().is_multiple_of(5);
+        let concurrent = rng.next_u64().is_multiple_of(3);
+        Self {
+            seed,
+            gen_a,
+            gen_b,
+            net_cut,
+            panic_build,
+            concurrent,
+            direct_writes: false,
+        }
+    }
+
+    /// Total scheduled fault events across every dimension — the size
+    /// the shrinker minimises (INV-CHAOS-SHRINK).
+    pub fn fault_count(&self) -> usize {
+        self.gen_a.events.len()
+            + self.gen_b.events.len()
+            + usize::from(self.net_cut.is_some())
+            + usize::from(self.panic_build)
+    }
+
+    /// Serialises the schedule as the core of a replayable trace.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("seed".to_string(), Value::UInt(self.seed)),
+            ("gen_a".to_string(), self.gen_a.to_json_value()),
+            ("gen_b".to_string(), self.gen_b.to_json_value()),
+            (
+                "net_cut".to_string(),
+                self.net_cut.map_or(Value::Null, Value::UInt),
+            ),
+            ("panic_build".to_string(), Value::Bool(self.panic_build)),
+            ("concurrent".to_string(), Value::Bool(self.concurrent)),
+            ("direct_writes".to_string(), Value::Bool(self.direct_writes)),
+        ])
+    }
+
+    /// Restores a schedule from [`Schedule::to_json_value`] output.
+    pub fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            seed: v.field("seed")?.as_u64()?,
+            gen_a: FaultSchedule::from_json_value(v.field("gen_a")?)?,
+            gen_b: FaultSchedule::from_json_value(v.field("gen_b")?)?,
+            net_cut: match v.field("net_cut")? {
+                Value::Null => None,
+                other => Some(other.as_u64()?),
+            },
+            panic_build: v.field("panic_build")?.as_bool()?,
+            concurrent: v.field("concurrent")?.as_bool()?,
+            direct_writes: v.field("direct_writes")?.as_bool()?,
+        })
+    }
+}
+
+/// A violating schedule plus what it violated: the replayable artifact
+/// `aceso chaos run` writes and `aceso chaos replay` consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The (shrunk) schedule that reproduces the violation.
+    pub schedule: Schedule,
+    /// The oracle violations observed under that schedule.
+    pub violations: Vec<String>,
+}
+
+impl Trace {
+    /// Serialises the trace as a pretty JSON document.
+    pub fn to_json_string(&self) -> String {
+        let doc = Value::Object(vec![
+            ("schedule".to_string(), self.schedule.to_json_value()),
+            (
+                "violations".to_string(),
+                Value::Array(
+                    self.violations
+                        .iter()
+                        .map(|v| Value::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut text = doc.to_string_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Restores a trace from [`Trace::to_json_string`] output.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        let v = Value::parse(text)?;
+        let mut violations = Vec::new();
+        for entry in v.field("violations")?.as_array()? {
+            violations.push(entry.as_str()?.to_string());
+        }
+        Ok(Self {
+            schedule: Schedule::from_json_value(v.field("schedule")?)?,
+            violations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_derive_deterministically_from_seeds() {
+        for seed in 0..64 {
+            assert_eq!(Schedule::from_seed(seed), Schedule::from_seed(seed));
+        }
+        // The dimensions are actually exercised across a seed sweep.
+        let sweep: Vec<Schedule> = (0..64).map(Schedule::from_seed).collect();
+        assert!(sweep.iter().any(|s| !s.gen_a.events.is_empty()));
+        assert!(sweep.iter().any(|s| !s.gen_b.events.is_empty()));
+        assert!(sweep.iter().any(|s| s.net_cut.is_some()));
+        assert!(sweep.iter().any(|s| s.panic_build));
+        assert!(sweep.iter().any(|s| s.concurrent));
+        assert!(
+            sweep.iter().all(|s| !s.direct_writes),
+            "the mutation switch is never seed-derived"
+        );
+    }
+
+    #[test]
+    fn traces_round_trip_as_json() {
+        for seed in [0u64, 3, 17, 41, 1_000_003] {
+            let schedule = Schedule::from_seed(seed);
+            let trace = Trace {
+                schedule,
+                violations: vec!["torn-entry: x".to_string()],
+            };
+            let back = Trace::from_json_str(&trace.to_json_string()).expect("parses");
+            assert_eq!(back, trace);
+        }
+    }
+}

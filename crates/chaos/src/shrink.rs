@@ -1,0 +1,123 @@
+//! Greedy delta-debugging shrinker for violating fault schedules
+//! (INV-CHAOS-SHRINK).
+//!
+//! A seeded schedule that trips an oracle usually carries faults that
+//! have nothing to do with the failure. The shrinker repeatedly tries
+//! removing one scheduled element at a time — a filesystem fault event
+//! from either generation, the network cut, the injected panic, the
+//! concurrent-generations flag — and keeps any removal after which the
+//! scenario *still* violates an oracle. It loops to a fixpoint, so the
+//! returned [`Trace`] is 1-minimal: removing any single remaining
+//! element makes the violation disappear. Because scenarios are
+//! deterministic per schedule (INV-CHAOS-DETERMINISM), every probe is a
+//! faithful replay, not a statistical guess.
+
+use crate::engine::Engine;
+use crate::schedule::{Schedule, Trace};
+
+/// Every schedule one element smaller than `s`, in a deterministic
+/// order: gen-A fault events first, then gen-B, then the cleared
+/// network cut, panic, and concurrency flags. `direct_writes` is
+/// configuration (the mutation gate), not a fault — it is never
+/// removed, so a mutant trace stays a mutant trace.
+fn candidates(s: &Schedule) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    for i in 0..s.gen_a.events.len() {
+        let mut c = s.clone();
+        c.gen_a.events.remove(i);
+        out.push(c);
+    }
+    for i in 0..s.gen_b.events.len() {
+        let mut c = s.clone();
+        c.gen_b.events.remove(i);
+        out.push(c);
+    }
+    if s.net_cut.is_some() {
+        let mut c = s.clone();
+        c.net_cut = None;
+        out.push(c);
+    }
+    if s.panic_build {
+        let mut c = s.clone();
+        c.panic_build = false;
+        out.push(c);
+    }
+    if s.concurrent {
+        let mut c = s.clone();
+        c.concurrent = false;
+        out.push(c);
+    }
+    out
+}
+
+/// Shrinks a violating `schedule` to a minimal replayable [`Trace`].
+/// `violations` is what the full schedule violated; the trace carries
+/// the violations of the *shrunk* schedule, which reproduces when fed
+/// back through `aceso chaos replay`.
+pub fn shrink(engine: &Engine, schedule: &Schedule, violations: Vec<String>) -> Trace {
+    let mut current = schedule.clone();
+    let mut current_violations = violations;
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&current) {
+            let outcome = engine.run_schedule(&candidate);
+            if !outcome.violations.is_empty() {
+                current = candidate;
+                current_violations = outcome.violations;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Trace {
+        schedule: current,
+        violations: current_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aceso_util::fsio::FaultSchedule;
+
+    #[test]
+    fn candidate_generation_removes_exactly_one_element() {
+        let schedule = Schedule::from_seed(11);
+        for c in candidates(&schedule) {
+            if c.concurrent != schedule.concurrent {
+                // Clearing the concurrency flag removes a scenario
+                // dimension but not a counted fault event.
+                assert_eq!(c.fault_count(), schedule.fault_count());
+            } else {
+                assert_eq!(c.fault_count() + 1, schedule.fault_count());
+            }
+        }
+    }
+
+    #[test]
+    fn direct_writes_survives_candidate_generation() {
+        let mut schedule = Schedule::from_seed(7);
+        schedule.direct_writes = true;
+        assert!(!candidates(&schedule).is_empty());
+        for c in candidates(&schedule) {
+            assert!(c.direct_writes, "the mutation gate is never shrunk away");
+        }
+    }
+
+    #[test]
+    fn an_empty_schedule_has_no_candidates() {
+        let schedule = Schedule {
+            seed: 0,
+            gen_a: FaultSchedule::none(),
+            gen_b: FaultSchedule::none(),
+            net_cut: None,
+            panic_build: false,
+            concurrent: false,
+            direct_writes: false,
+        };
+        assert!(candidates(&schedule).is_empty());
+    }
+}

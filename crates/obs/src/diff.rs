@@ -126,6 +126,7 @@ pub fn render_diff(a: &Value, b: &Value) -> Result<String, DiffError> {
         ("counters", ""),
         ("primitives_applied", "primitive["),
         ("audit_findings", "audit["),
+        ("chaos_faults_injected", "chaos["),
     ] {
         let left = uint_entries(a, field);
         let right = uint_entries(b, field);

@@ -197,6 +197,32 @@ pub enum Event {
         /// Why the entry was rejected.
         reason: String,
     },
+    /// The chaos engine injected one filesystem fault (schema v9).
+    /// Emitted only under `aceso chaos` / `ChaosFs` runs, never in
+    /// production; placement follows the seeded schedule, so streams
+    /// carrying it are nondeterministic-masked like the
+    /// `chaos_faults_injected` family.
+    FaultInjected {
+        /// Ordinal of the faultable filesystem operation the fault
+        /// landed on (0-based, in workload call order).
+        op: u64,
+        /// Injected fault kind (`eio`, `enospc`, `short_write`,
+        /// `rename_fail`, `crash`).
+        kind: String,
+        /// Path of the operation's target.
+        path: String,
+    },
+    /// A retention sweep (spool TTL or store LRU) failed to remove one
+    /// or more victims (schema v9). Hygiene kept going — the files stay
+    /// until the next sweep — but the failure is surfaced instead of
+    /// swallowed (INV-CHAOS-SWEEP; pairs with the
+    /// `retention_sweep_errors` counter).
+    SweepDegraded {
+        /// Directory the sweep ran over.
+        dir: String,
+        /// Removals that failed (excluding already-gone files).
+        errors: u64,
+    },
 }
 
 impl Event {
@@ -217,6 +243,8 @@ impl Event {
             Event::SearchRestarted { .. } => "search_restarted",
             Event::SimRun { .. } => "sim_run",
             Event::StoreDegraded { .. } => "store_degraded",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::SweepDegraded { .. } => "sweep_degraded",
         }
     }
 
@@ -391,6 +419,17 @@ impl Event {
                 put("file", Value::Str(file.clone()));
                 put("reason", Value::Str(reason.clone()));
             }
+            Event::FaultInjected { op, kind, path } => {
+                // `kind` is the stream-level event tag, so the fault
+                // kind serialises under `fault`.
+                put("op", Value::UInt(*op));
+                put("fault", Value::Str(kind.clone()));
+                put("path", Value::Str(path.clone()));
+            }
+            Event::SweepDegraded { dir, errors } => {
+                put("dir", Value::Str(dir.clone()));
+                put("errors", Value::UInt(*errors));
+            }
         }
         Value::Object(fields)
     }
@@ -519,6 +558,15 @@ impl Event {
                 file: v.field("file")?.as_str()?.to_string(),
                 reason: v.field("reason")?.as_str()?.to_string(),
             }),
+            "fault_injected" => Ok(Event::FaultInjected {
+                op: v.field("op")?.as_u64()?,
+                kind: v.field("fault")?.as_str()?.to_string(),
+                path: v.field("path")?.as_str()?.to_string(),
+            }),
+            "sweep_degraded" => Ok(Event::SweepDegraded {
+                dir: v.field("dir")?.as_str()?.to_string(),
+                errors: v.field("errors")?.as_u64()?,
+            }),
             other => Err(JsonError::shape(format!("unknown event kind `{other}`"))),
         }
     }
@@ -616,6 +664,15 @@ impl Event {
             Event::StoreDegraded {
                 file: "0000000000000007-000000000000002a.adb".to_string(),
                 reason: "checksum mismatch".to_string(),
+            },
+            Event::FaultInjected {
+                op: 3,
+                kind: "short_write".to_string(),
+                path: "/store/0000000000000007-000000000000002a.adb.tmp.42".to_string(),
+            },
+            Event::SweepDegraded {
+                dir: "/spool".to_string(),
+                errors: 1,
             },
         ]
     }

@@ -107,11 +107,16 @@ pub enum Counter {
     /// path's precision-filter rule, applied to the disk tier);
     /// server-level only.
     StoreRejected,
+    /// Retention-sweep removals (spool TTL or store LRU) that failed for
+    /// a reason other than the file already being gone. Hygiene errors
+    /// used to be swallowed; they now surface here plus a
+    /// `sweep_degraded` event (INV-CHAOS-SWEEP); server-level only.
+    RetentionSweepErrors,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 33] = [
         Counter::PerfEvaluations,
         Counter::PerfIncrementalHits,
         Counter::PerfFullEvals,
@@ -144,6 +149,7 @@ impl Counter {
         Counter::StoreWrites,
         Counter::StoreEvictions,
         Counter::StoreRejected,
+        Counter::RetentionSweepErrors,
     ];
 
     /// The counter's snapshot-key name.
@@ -181,6 +187,7 @@ impl Counter {
             Counter::StoreWrites => "store_writes",
             Counter::StoreEvictions => "store_evictions",
             Counter::StoreRejected => "store_rejected",
+            Counter::RetentionSweepErrors => "retention_sweep_errors",
         }
     }
 }
@@ -381,8 +388,9 @@ impl Histogram {
     }
 }
 
-/// A full metric set: fixed counters, the keyed `primitives_applied`
-/// and `audit_findings` counter families, and the fixed histograms.
+/// A full metric set: fixed counters, the keyed `primitives_applied`,
+/// `audit_findings`, and `chaos_faults_injected` counter families, and
+/// the fixed histograms.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     counters: [u64; Counter::ALL.len()],
@@ -392,6 +400,11 @@ pub struct Metrics {
     /// Static-verifier findings by audit rule (schema v5). Stays empty
     /// in search and serve runs; `aceso audit` fills it.
     audit_findings: BTreeMap<&'static str, u64>,
+    /// Injected filesystem faults by kind (schema v9). Stays empty in
+    /// production runs; `aceso chaos` fills it. Fault placement depends
+    /// on the seeded schedule, so the family is nondeterministic-masked
+    /// (see [`crate::schema::NONDETERMINISTIC_FAMILIES`]).
+    chaos_faults: BTreeMap<&'static str, u64>,
     histograms: Vec<Histogram>,
 }
 
@@ -401,6 +414,7 @@ impl Default for Metrics {
             counters: [0; Counter::ALL.len()],
             primitives: BTreeMap::new(),
             audit_findings: BTreeMap::new(),
+            chaos_faults: BTreeMap::new(),
             histograms: HistKind::ALL.iter().map(|&k| Histogram::new(k)).collect(),
         }
     }
@@ -444,6 +458,18 @@ impl Metrics {
         &self.audit_findings
     }
 
+    /// Adds `n` to the keyed `chaos_faults_injected` family, keyed by
+    /// fault kind (`eio`, `enospc`, `short_write`, `rename_fail`,
+    /// `crash`).
+    pub fn add_chaos_fault(&mut self, kind: &'static str, n: u64) {
+        *self.chaos_faults.entry(kind).or_insert(0) += n;
+    }
+
+    /// The keyed `chaos_faults_injected` counters, sorted by kind.
+    pub fn chaos_faults(&self) -> &BTreeMap<&'static str, u64> {
+        &self.chaos_faults
+    }
+
     /// Records a histogram observation.
     pub fn observe(&mut self, h: HistKind, v: f64) {
         self.histograms[h.index()].observe(v);
@@ -465,6 +491,9 @@ impl Metrics {
         for (&k, &v) in &other.audit_findings {
             *self.audit_findings.entry(k).or_insert(0) += v;
         }
+        for (&k, &v) in &other.chaos_faults {
+            *self.chaos_faults.entry(k).or_insert(0) += v;
+        }
         for (a, b) in self.histograms.iter_mut().zip(&other.histograms) {
             a.merge(b);
         }
@@ -481,6 +510,7 @@ impl Metrics {
             ("counters", self.counters_json()),
             ("primitives", self.primitives_json()),
             ("audit_findings", self.audit_findings_json()),
+            ("chaos_faults_injected", self.chaos_faults_json()),
             (
                 "histograms",
                 Value::Object(
@@ -550,6 +580,20 @@ impl Metrics {
                 m.add_audit_finding(interned, value.as_u64()?);
             }
         }
+        // `chaos_faults_injected` joined in schema v9; same pre-version
+        // tolerance as `audit_findings` above.
+        if let Some(faults) = v.get("chaos_faults_injected") {
+            let Value::Object(fault_fields) = faults else {
+                return Err(JsonError::shape(
+                    "`chaos_faults_injected` must be an object",
+                ));
+            };
+            for (name, value) in fault_fields {
+                let interned = intern(name)
+                    .ok_or_else(|| JsonError::shape(format!("unknown fault kind `{name}`")))?;
+                m.add_chaos_fault(interned, value.as_u64()?);
+            }
+        }
         let histograms = v.field("histograms")?;
         for kind in HistKind::ALL {
             m.histograms[kind.index()] =
@@ -594,6 +638,17 @@ impl Metrics {
     pub fn audit_findings_json(&self) -> Value {
         Value::Object(
             self.audit_findings
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), Value::UInt(v)))
+                .collect(),
+        )
+    }
+
+    /// Snapshot of the keyed `chaos_faults_injected` family as a JSON
+    /// object (sorted keys).
+    pub fn chaos_faults_json(&self) -> Value {
+        Value::Object(
+            self.chaos_faults
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), Value::UInt(v)))
                 .collect(),
@@ -710,6 +765,24 @@ mod tests {
             }
         }
         assert!(Metrics::from_checkpoint_value(&bad, &intern).is_err());
+    }
+
+    #[test]
+    fn chaos_faults_round_trip_and_tolerate_pre_v9_checkpoints() {
+        let mut m = Metrics::default();
+        m.add_chaos_fault("short_write", 3);
+        let intern = |s: &str| (s == "short_write").then_some("short_write");
+        let back =
+            Metrics::from_checkpoint_value(&m.to_checkpoint_value(), &intern).expect("round trip");
+        assert_eq!(back.chaos_faults()["short_write"], 3);
+        assert_eq!(back, m);
+        // A pre-v9 checkpoint has no `chaos_faults_injected` field.
+        let mut old = Metrics::default().to_checkpoint_value();
+        if let Value::Object(fields) = &mut old {
+            fields.retain(|(k, _)| k != "chaos_faults_injected");
+        }
+        let restored = Metrics::from_checkpoint_value(&old, &|_| None).expect("pre-v9 restores");
+        assert!(restored.chaos_faults().is_empty());
     }
 
     #[test]

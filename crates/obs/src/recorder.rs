@@ -98,6 +98,14 @@ impl Recorder {
         }
     }
 
+    /// Adds `n` to the keyed `chaos_faults_injected` counter family.
+    #[inline]
+    pub fn count_chaos_fault(&self, kind: &'static str, n: u64) {
+        if self.enabled {
+            self.metrics.borrow_mut().add_chaos_fault(kind, n);
+        }
+    }
+
     /// Records a histogram observation.
     #[inline]
     pub fn observe(&self, h: HistKind, v: f64) {

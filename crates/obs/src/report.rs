@@ -75,7 +75,8 @@ impl ObsReport {
 
     /// Renders the metric snapshot as a pretty JSON document:
     /// `schema_version`, `wall_time_secs` (null unless set), `counters`,
-    /// `primitives_applied`, `audit_findings`, and `histograms`.
+    /// `primitives_applied`, `audit_findings`, `chaos_faults_injected`,
+    /// and `histograms`.
     pub fn metrics_json(&self) -> String {
         let doc = obj([
             ("schema_version", Value::UInt(SCHEMA_VERSION)),
@@ -86,6 +87,7 @@ impl ObsReport {
             ("counters", self.metrics.counters_json()),
             ("primitives_applied", self.metrics.primitives_json()),
             ("audit_findings", self.metrics.audit_findings_json()),
+            ("chaos_faults_injected", self.metrics.chaos_faults_json()),
             ("histograms", self.metrics.histograms_json()),
         ]);
         let mut text = doc.to_string_pretty();
@@ -104,6 +106,9 @@ impl ObsReport {
         }
         for (rule, n) in self.metrics.audit_findings() {
             t.row(&[format!("audit[{rule}]"), n.to_string()]);
+        }
+        for (kind, n) in self.metrics.chaos_faults() {
+            t.row(&[format!("chaos[{kind}]"), n.to_string()]);
         }
         for h in HistKind::ALL {
             let hist = self.metrics.histogram(h);

@@ -56,7 +56,16 @@
 /// server-level (daemon `stats` snapshots only) and deterministic for a
 /// given request sequence against a given store directory; they stay
 /// zero when the daemon runs without `--store-dir`.
-pub const SCHEMA_VERSION: u64 = 8;
+///
+/// v9: the chaos-engine surface was added. The keyed
+/// `chaos_faults_injected` counter family (injected filesystem faults
+/// by kind) and the `fault_injected` event exist only under
+/// `aceso chaos` / `ChaosFs` runs and are nondeterministic-masked
+/// ([`NONDETERMINISTIC_FAMILIES`]); the `retention_sweep_errors`
+/// counter and `sweep_degraded` event surface retention-sweep removals
+/// that used to fail silently (both deterministic for a fixed fault
+/// schedule, zero in healthy runs).
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// One documented field of an event kind.
 #[derive(Debug, Clone, Copy)]
@@ -227,6 +236,20 @@ pub const EVENTS: &[EventSpec] = &[
         doc: "an unusable persistent-store entry was discarded and the profile database rebuilt fresh (server-level only)",
         fields: &[f("file", "string", "-"), f("reason", "string", "-")],
     },
+    EventSpec {
+        kind: "fault_injected",
+        doc: "the chaos engine injected one filesystem fault (chaos runs only; nondeterministic-masked)",
+        fields: &[
+            f("op", "uint", "operation ordinal"),
+            f("fault", "string", "eio|enospc|short_write|rename_fail|crash"),
+            f("path", "string", "-"),
+        ],
+    },
+    EventSpec {
+        kind: "sweep_degraded",
+        doc: "a retention sweep failed to remove one or more victims (server-level only)",
+        fields: &[f("dir", "string", "-"), f("errors", "uint", "failed removals")],
+    },
 ];
 
 /// Every counter name with its description, in snapshot order.
@@ -332,6 +355,10 @@ pub const COUNTERS: &[(&str, &str)] = &[
         "store_rejected",
         "decodable store entries skipped for precision mismatch",
     ),
+    (
+        "retention_sweep_errors",
+        "retention-sweep removals that failed (spool TTL or store LRU)",
+    ),
 ];
 
 /// Counters whose values legitimately vary between runs with identical
@@ -347,6 +374,14 @@ pub const NONDETERMINISTIC_COUNTERS: &[&str] = &[
     "serve_pipelined_requests",
     "serve_fairness_deferrals",
 ];
+
+/// Keyed counter *families* whose contents legitimately vary between
+/// runs: fault placement in `chaos_faults_injected` follows the seeded
+/// chaos schedule, not the workload, so bit-identity comparisons mask
+/// the whole family (the per-request determinism contract is unaffected
+/// — the family stays empty outside chaos runs). The `fault_injected`
+/// event is masked for the same reason.
+pub const NONDETERMINISTIC_FAMILIES: &[&str] = &["chaos_faults_injected"];
 
 /// Every histogram name with its unit and description, in snapshot
 /// order.

@@ -444,6 +444,14 @@ impl ProfileCache {
         std::mem::take(&mut *self.degraded.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
+    /// Drains the store tier's count of failed eviction-sweep removals
+    /// (zero without a store). The daemon folds the drained count into
+    /// its monotone `retention_sweep_errors` total and emits a
+    /// `sweep_degraded` event (INV-CHAOS-SWEEP).
+    pub fn take_store_sweep_errors(&self) -> u64 {
+        self.store.as_ref().map_or(0, Store::take_sweep_errors)
+    }
+
     /// Total approximate bytes of resident databases.
     pub fn resident_bytes(&self) -> u64 {
         self.lock_state()

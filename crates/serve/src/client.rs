@@ -30,6 +30,18 @@ pub enum ClientError {
     },
     /// The server sent a frame the protocol does not allow here.
     Protocol(String),
+    /// The total wall-clock retry deadline expired before any attempt
+    /// succeeded (`--retry-deadline-secs`). Distinct from exhausting
+    /// the attempt *count*: the deadline bounds elapsed time across
+    /// both backoff clocks, whatever mix of failures was seen.
+    RetryDeadline {
+        /// The configured wall-clock budget.
+        deadline: Duration,
+        /// Attempts actually made before the deadline cut retries off.
+        attempts: usize,
+        /// The failure of the final attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -40,6 +52,16 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server rejected the request ({code}): {message}")
             }
             ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::RetryDeadline {
+                deadline,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "retry-deadline: gave up after {attempts} attempt(s); \
+                 wall-clock deadline of {:.1}s exceeded; last error: {last}",
+                deadline.as_secs_f64()
+            ),
         }
     }
 }
@@ -387,7 +409,9 @@ fn retry_class(e: &ClientError) -> RetryClass {
         {
             RetryClass::Busy
         }
-        ClientError::Server { .. } | ClientError::Protocol(_) => RetryClass::Fatal,
+        ClientError::Server { .. }
+        | ClientError::Protocol(_)
+        | ClientError::RetryDeadline { .. } => RetryClass::Fatal,
     }
 }
 
@@ -423,6 +447,24 @@ pub fn submit_with_retries(
     req: &Request,
     retries: usize,
 ) -> Result<Response, ClientError> {
+    submit_with_retries_deadline(addr, req, retries, None)
+}
+
+/// [`submit_with_retries`] with an additional total wall-clock budget:
+/// once `deadline` has elapsed since the first attempt started, no
+/// further attempt is made and the typed
+/// [`ClientError::RetryDeadline`] surfaces (wrapping the last failure).
+/// The deadline spans *both* backoff clocks — a client alternating
+/// between busy rejections and transport failures is still bounded —
+/// and is checked before each sleep, so the client never parks past its
+/// own budget waiting to discover it expired.
+pub fn submit_with_retries_deadline(
+    addr: &str,
+    req: &Request,
+    retries: usize,
+    deadline: Option<Duration>,
+) -> Result<Response, ClientError> {
+    let start = std::time::Instant::now();
     let mut rng = SplitMix64::new(req.seed ^ 0x5EED_BACC_0FF5);
     let mut busy_delay = RETRY_BUSY_BASE;
     let mut down_delay = RETRY_DELAY_BASE;
@@ -446,7 +488,17 @@ pub fn submit_with_retries(
                     RetryClass::Fatal => unreachable!("guarded above"),
                 };
                 let jitter_ms = rng.next_u64() % (delay.as_millis() as u64 / 2 + 1);
-                std::thread::sleep(delay + Duration::from_millis(jitter_ms));
+                let delay = delay + Duration::from_millis(jitter_ms);
+                if let Some(limit) = deadline {
+                    if start.elapsed() + delay >= limit {
+                        return Err(ClientError::RetryDeadline {
+                            deadline: limit,
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                }
+                std::thread::sleep(delay);
             }
             Err(e) => return Err(e),
         }
@@ -583,6 +635,51 @@ mod tests {
         );
         shutdown(&addr).expect("drains");
         let _ = handle.join();
+    }
+
+    /// Regression: the wall-clock deadline cuts retries off even when
+    /// the attempt budget is effectively unlimited. The endpoint is a
+    /// bound-then-dropped listener, so every attempt refuses
+    /// permanently; without the deadline, 1000 down-clock retries would
+    /// take minutes.
+    #[test]
+    fn retry_deadline_bounds_total_wall_clock() {
+        let refused = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+            listener.local_addr().expect("addr").to_string()
+            // Dropped here: connections to the freed port are refused.
+        };
+        let req = Request {
+            model: "gpt3-0.35b".into(),
+            gpus: 1,
+            max_iterations: 1,
+            ..Request::default()
+        };
+        let limit = Duration::from_millis(300);
+        let start = std::time::Instant::now();
+        let outcome = submit_with_retries_deadline(&refused, &req, 1000, Some(limit));
+        let elapsed = start.elapsed();
+        match outcome {
+            Err(ClientError::RetryDeadline {
+                deadline,
+                attempts,
+                last,
+            }) => {
+                assert_eq!(deadline, limit);
+                assert!(attempts >= 1, "at least one attempt was made");
+                assert!(
+                    matches!(*last, ClientError::Wire(_)),
+                    "the last failure is preserved, got {last:?}"
+                );
+            }
+            other => panic!("expected RetryDeadline, got {other:?}"),
+        }
+        // Checked before each sleep: the client gives up without parking
+        // past its own budget (generous bound for slow CI).
+        assert!(
+            elapsed < limit + Duration::from_secs(2),
+            "deadline overshot: {elapsed:?}"
+        );
     }
 
     /// One request's canonical four-frame response, tagged with its id.

@@ -45,13 +45,13 @@ pub mod wire;
 
 pub use cache::{cluster_fingerprint, model_fingerprint, ProfileCache};
 pub use client::{
-    server_stats, shutdown, submit, submit_pipelined, submit_with_retries, ClientError,
-    PipelineCollector, Response,
+    server_stats, shutdown, submit, submit_pipelined, submit_with_retries,
+    submit_with_retries_deadline, ClientError, PipelineCollector, Response,
 };
 pub use fault::{FaultMode, FaultProxy};
 pub use proto::{error_frame, event_frame, status_frame, tag_request_id, Request};
 pub use reactor::PIPELINE_DEPTH;
-pub use server::{spool_path, sweep_spools, ServeOptions, Server};
+pub use server::{spool_path, sweep_spools, sweep_spools_with, ServeOptions, Server};
 pub use wire::{
     read_frame, write_frame, FrameDecoder, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };

@@ -284,8 +284,12 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) -> ObsReport {
         (Some(dir), Some(ttl)) if ttl > 0 => (dir.clone(), Duration::from_secs(ttl)).into(),
         _ => None,
     };
+    let sweep = |dir: &std::path::PathBuf, ttl: &Duration| {
+        let outcome = crate::server::sweep_spools_with(shared.opts.fs.as_ref(), dir, *ttl);
+        shared.note_sweep_errors(&dir.display().to_string(), outcome.errors as u64);
+    };
     if let Some((dir, ttl)) = &spool_ttl {
-        crate::server::sweep_spools(dir, *ttl);
+        sweep(dir, ttl);
     }
     let mut last_sweep = Instant::now();
 
@@ -293,7 +297,7 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) -> ObsReport {
         let mut progress = false;
         if let Some((dir, ttl)) = &spool_ttl {
             if last_sweep.elapsed() >= *ttl {
-                crate::server::sweep_spools(dir, *ttl);
+                sweep(dir, ttl);
                 last_sweep = Instant::now();
             }
         }
@@ -440,7 +444,7 @@ pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) -> ObsReport {
             while let Some((target, _)) = c.spool_deletes.front() {
                 if *target <= c.written_total {
                     let (_, path) = c.spool_deletes.pop_front().expect("front exists");
-                    let _ = std::fs::remove_file(path);
+                    let _ = shared.opts.fs.remove_file(&path);
                 } else {
                     break;
                 }

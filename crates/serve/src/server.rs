@@ -22,7 +22,9 @@ use aceso_model::zoo;
 use aceso_obs::{Counter, Event, Metrics, ObsReport, Recorder};
 use aceso_runtime::ExecutionPlan;
 use aceso_util::fnv1a;
+use aceso_util::fsio::{self, Fs, RealFs};
 use aceso_util::json::{obj, FromJson, Value};
+use aceso_util::retention::SweepOutcome;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -96,6 +98,20 @@ pub struct ServeOptions {
     /// entries are evicted past it. Only meaningful with
     /// [`ServeOptions::store_dir`].
     pub store_budget_bytes: u64,
+    /// Filesystem all the daemon's durable writes go through (store
+    /// entries, checkpoint spools, retention sweeps). Production keeps
+    /// the default [`RealFs`] — byte-identical to direct `std::fs`
+    /// calls; the chaos engine substitutes a seeded
+    /// [`aceso_util::fsio::ChaosFs`] (INV-CHAOS-REALFS,
+    /// `docs/RELIABILITY.md`).
+    pub fs: Arc<dyn Fs>,
+    /// Mutation-gate hook (`aceso chaos run --mutate store-direct-write`):
+    /// makes the daemon's store skip its temp+rename discipline
+    /// ([`aceso_store::Store::set_direct_writes`]), deliberately
+    /// breaking the store's atomic-publish invariant (`docs/STORE.md`)
+    /// so the chaos oracles can prove they catch torn entries. Never
+    /// set in production paths.
+    pub store_direct_writes: bool,
 }
 
 impl Default for ServeOptions {
@@ -115,6 +131,8 @@ impl Default for ServeOptions {
             max_connections: 0,
             store_dir: None,
             store_budget_bytes: 256 << 20,
+            fs: Arc::new(RealFs),
+            store_direct_writes: false,
         }
     }
 }
@@ -147,6 +165,10 @@ pub(crate) struct Shared {
     /// to an uninterrupted direct run — so they surface only through the
     /// drain report.
     pub(crate) server_events: Mutex<Vec<Event>>,
+    /// Retention-sweep removals that failed (spool TTL sweeps; the
+    /// store tier's eviction errors are drained from the cache at
+    /// snapshot time). Feeds `retention_sweep_errors` (INV-CHAOS-SWEEP).
+    pub(crate) sweep_errors: AtomicU64,
 }
 
 impl Shared {
@@ -154,6 +176,21 @@ impl Shared {
     /// events as an [`ObsReport`] (the serve counter group of
     /// `docs/OBSERVABILITY.md`, schema v8).
     pub(crate) fn report(&self) -> ObsReport {
+        // Fold the store tier's eviction-sweep errors into the daemon
+        // total (with a typed event) before snapshotting, so the counter
+        // is monotone across snapshots.
+        let store_sweep_errors = self.cache.take_store_sweep_errors();
+        if store_sweep_errors > 0 {
+            self.note_sweep_errors(
+                &self
+                    .opts
+                    .store_dir
+                    .as_deref()
+                    .map(|d| d.display().to_string())
+                    .unwrap_or_default(),
+                store_sweep_errors,
+            );
+        }
         let events = {
             // Absorb store degradations queued since the last snapshot
             // into the durable server-event log first, so every later
@@ -204,6 +241,10 @@ impl Shared {
         rec.add(Counter::StoreWrites, self.cache.store_writes());
         rec.add(Counter::StoreEvictions, self.cache.store_evictions());
         rec.add(Counter::StoreRejected, self.cache.store_rejected());
+        rec.add(
+            Counter::RetentionSweepErrors,
+            self.sweep_errors.load(Ordering::Relaxed),
+        );
         let mut report = ObsReport::new();
         report.absorb(rec);
         report
@@ -212,6 +253,24 @@ impl Shared {
     fn reject(&self, stream: &mut TcpStream, code: &str, message: &str) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
         let _ = write_frame(stream, &error_frame(code, message));
+    }
+
+    /// Records `errors` failed removals from a retention sweep over
+    /// `dir`: counts them into `retention_sweep_errors` and surfaces a
+    /// typed `sweep_degraded` event instead of dropping the failures on
+    /// the floor (INV-CHAOS-SWEEP).
+    pub(crate) fn note_sweep_errors(&self, dir: &str, errors: u64) {
+        if errors == 0 {
+            return;
+        }
+        self.sweep_errors.fetch_add(errors, Ordering::Relaxed);
+        self.server_events
+            .lock()
+            .expect("event lock")
+            .push(Event::SweepDegraded {
+                dir: dir.to_string(),
+                errors,
+            });
     }
 
     /// Records that a spooled checkpoint could not be used and the
@@ -250,10 +309,17 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let cache = match &opts.store_dir {
-            Some(dir) => ProfileCache::with_store(
-                opts.cache_bytes,
-                aceso_store::Store::open(dir, opts.store_budget_bytes)?,
-            ),
+            Some(dir) => {
+                let mut store = aceso_store::Store::open_with(
+                    dir,
+                    opts.store_budget_bytes,
+                    Arc::clone(&opts.fs),
+                )?;
+                if opts.store_direct_writes {
+                    store.set_direct_writes(true);
+                }
+                ProfileCache::with_store(opts.cache_bytes, store)
+            }
             None => ProfileCache::new(opts.cache_bytes),
         };
         let shared = Arc::new(Shared {
@@ -271,6 +337,7 @@ impl Server {
             connections_open: AtomicU64::new(0),
             pipelined_requests: AtomicU64::new(0),
             fairness_deferrals: AtomicU64::new(0),
+            sweep_errors: AtomicU64::new(0),
             server_events: Mutex::new(Vec::new()),
         });
         Ok(Self { listener, shared })
@@ -328,7 +395,11 @@ impl Server {
         let dir = self.shared.opts.spool_dir.clone()?;
         let shared = Arc::clone(&self.shared);
         Some(std::thread::spawn(move || {
-            sweep_spools(&dir, ttl);
+            let sweep = |shared: &Shared| {
+                let outcome = sweep_spools_with(shared.opts.fs.as_ref(), &dir, ttl);
+                shared.note_sweep_errors(&dir.display().to_string(), outcome.errors as u64);
+            };
+            sweep(&shared);
             let mut since_sweep = Duration::ZERO;
             loop {
                 let tick = ttl.min(Duration::from_millis(200));
@@ -338,7 +409,7 @@ impl Server {
                 }
                 since_sweep += tick;
                 if since_sweep >= ttl {
-                    sweep_spools(&dir, ttl);
+                    sweep(&shared);
                     since_sweep = Duration::ZERO;
                 }
             }
@@ -353,9 +424,17 @@ impl Server {
 /// TTL machinery the profile store's eviction uses — and best-effort
 /// throughout: the sweep is hygiene, never load-bearing.
 pub fn sweep_spools(dir: &Path, ttl: Duration) -> usize {
-    let files = aceso_util::retention::scan_dir(dir, &[".ckpt", ".ckpt.tmp"]);
+    sweep_spools_with(&RealFs, dir, ttl).removed
+}
+
+/// [`sweep_spools`] against an explicit filesystem handle, reporting
+/// failed removals alongside successful ones so callers can surface
+/// them as `retention_sweep_errors` + `sweep_degraded` instead of
+/// silently swallowing the fault (INV-CHAOS-SWEEP).
+pub fn sweep_spools_with(fs: &dyn Fs, dir: &Path, ttl: Duration) -> SweepOutcome {
+    let files = aceso_util::retention::scan_dir_with(fs, dir, &[".ckpt", ".ckpt.tmp"]);
     let expired = aceso_util::retention::expired(&files, ttl, std::time::SystemTime::now());
-    aceso_util::retention::remove_all(&expired)
+    aceso_util::retention::remove_all_with(fs, &expired)
 }
 
 /// True when an i/o error is a socket deadline expiring. Both kinds
@@ -464,7 +543,10 @@ pub(crate) trait FrameSink {
 }
 
 /// Blocking sink: frames go straight down the connection's socket.
-struct StreamSink<'a>(&'a mut TcpStream);
+/// Carries the daemon's filesystem handle so the final-frame spool
+/// removal goes through the same injectable [`Fs`] as every other
+/// spool side-effect.
+struct StreamSink<'a>(&'a mut TcpStream, &'a dyn Fs);
 
 impl FrameSink for StreamSink<'_> {
     fn send(&mut self, frame: &Value) -> Result<(), WireError> {
@@ -475,7 +557,7 @@ impl FrameSink for StreamSink<'_> {
         write_frame(self.0, frame)?;
         // The write reached the kernel; the saved work is now redundant.
         if let Some(path) = spool {
-            let _ = std::fs::remove_file(path);
+            let _ = self.1.remove_file(path);
         }
         Ok(())
     }
@@ -584,7 +666,12 @@ fn handle_request(shared: &Shared, stream: &mut TcpStream, frame: &Value) {
         *n += 1;
         SlotGuard(shared)
     };
-    execute_request(shared, &req, &model, &mut StreamSink(stream));
+    execute_request(
+        shared,
+        &req,
+        &model,
+        &mut StreamSink(stream, shared.opts.fs.as_ref()),
+    );
 }
 
 /// Runs one admitted request and streams its response frames into
@@ -701,13 +788,12 @@ pub fn spool_path(dir: &Path, request_id: &str) -> PathBuf {
 /// Atomically replaces the spool file: write to a sibling temp path,
 /// then rename over the target. A crash between the two leaves either
 /// the previous complete checkpoint or the new one, never a torn file.
-fn write_spool(path: &Path, ckpt: &SearchCheckpoint) -> std::io::Result<()> {
+fn write_spool(fs: &dyn Fs, path: &Path, ckpt: &SearchCheckpoint) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+        fs.create_dir_all(parent)?;
     }
     let tmp = path.with_extension("ckpt.tmp");
-    std::fs::write(&tmp, ckpt.to_json_string())?;
-    std::fs::rename(&tmp, path)
+    fsio::write_atomic(fs, path, &tmp, ckpt.to_json_string().as_bytes())
 }
 
 /// Loads and validates a spooled checkpoint. Returns `None` — fresh
@@ -722,7 +808,12 @@ fn load_spool(
     path: &Path,
     request_id: &str,
 ) -> Option<SearchCheckpoint> {
-    let text = match std::fs::read_to_string(path) {
+    let text = match shared
+        .opts
+        .fs
+        .read(path)
+        .map(|b| String::from_utf8_lossy(&b).into_owned())
+    {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
         Err(e) => {
@@ -788,7 +879,7 @@ fn run_spooled(
         match step {
             SearchStep::Done(result, report) => return Ok((result, report)),
             SearchStep::Paused(ckpt) => {
-                if write_spool(path, &ckpt).is_ok() {
+                if write_spool(shared.opts.fs.as_ref(), path, &ckpt).is_ok() {
                     shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
                 } else {
                     // The spool directory went bad (full disk, perms…).

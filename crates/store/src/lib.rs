@@ -40,9 +40,12 @@ use aceso_cluster::ClusterSpec;
 use aceso_model::Precision;
 use aceso_profile::ProfileDb;
 use aceso_util::fnv1a;
+use aceso_util::fsio::{self, Fs, RealFs};
 use aceso_util::json::{obj, FromJson, ToJson, Value};
 use aceso_util::retention;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Version stamped into every store file header. Bumped whenever the
 /// body encoding changes shape; files with any other version degrade to
@@ -124,16 +127,45 @@ pub struct EntryInfo {
 pub struct Store {
     dir: PathBuf,
     budget_bytes: u64,
+    fs: Arc<dyn Fs>,
+    direct_writes: bool,
+    sweep_errors: Arc<AtomicU64>,
 }
 
 impl Store {
     /// Opens (creating if needed) the store rooted at `dir`.
     pub fn open(dir: &Path, budget_bytes: u64) -> std::io::Result<Self> {
-        std::fs::create_dir_all(dir)?;
+        Self::open_with(dir, budget_bytes, Arc::new(RealFs))
+    }
+
+    /// [`Store::open`] over an injectable filesystem. Production code
+    /// passes [`RealFs`] (via [`Store::open`]); the chaos engine passes
+    /// a `ChaosFs` to exercise the store's fault contract.
+    pub fn open_with(dir: &Path, budget_bytes: u64, fs: Arc<dyn Fs>) -> std::io::Result<Self> {
+        fs.create_dir_all(dir)?;
         Ok(Self {
             dir: dir.to_path_buf(),
             budget_bytes,
+            fs,
+            direct_writes: false,
+            sweep_errors: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Mutation-gate hook (`aceso chaos run --mutate store-direct-write`):
+    /// when enabled, [`Store::save`] and touch-on-load write entries
+    /// *directly* to their final path instead of via temp+rename —
+    /// deliberately breaking INV-STORE-ATOMIC so the chaos engine can
+    /// prove its oracles catch torn entries. Never enabled in
+    /// production paths.
+    pub fn set_direct_writes(&mut self, on: bool) {
+        self.direct_writes = on;
+    }
+
+    /// Drains the count of retention-sweep removals that failed since
+    /// the last call (INV-CHAOS-SWEEP; feeds `retention_sweep_errors`).
+    pub fn take_sweep_errors(&self) -> u64 {
+        self.sweep_errors.swap(0, Ordering::Relaxed)
     }
 
     /// The directory this store lives in.
@@ -156,7 +188,7 @@ impl Store {
     pub fn load(&self, model_fp: u64, cluster_fp: u64) -> Result<Option<ProfileDb>, Degraded> {
         let path = self.entry_path(model_fp, cluster_fp);
         let file = entry_name(model_fp, cluster_fp);
-        let bytes = match std::fs::read(&path) {
+        let bytes = match self.fs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
@@ -174,7 +206,7 @@ impl Store {
         // the race against an eviction or a concurrent writer is fine —
         // the rename either lands or the file was replaced with equally
         // valid contents (INV-STORE-ATOMIC).
-        let _ = write_atomic(&path, &bytes);
+        let _ = self.write_entry(&path, &bytes);
         Ok(Some(db))
     }
 
@@ -185,22 +217,44 @@ impl Store {
     pub fn save(&self, model_fp: u64, cluster_fp: u64, db: &ProfileDb) -> std::io::Result<usize> {
         let path = self.entry_path(model_fp, cluster_fp);
         let text = encode(db, model_fp, cluster_fp);
-        write_atomic(&path, text.as_bytes())?;
+        self.write_entry(&path, text.as_bytes())?;
         Ok(self.evict(&path))
     }
 
     /// Evicts oldest-first until the store fits its byte budget,
-    /// sparing `keep`. Returns the number of files removed.
+    /// sparing `keep`. Returns the number of files removed; failed
+    /// removals are counted into [`Store::take_sweep_errors`] rather
+    /// than swallowed (INV-CHAOS-SWEEP).
     fn evict(&self, keep: &Path) -> usize {
-        let files = retention::scan_dir(&self.dir, &[STORE_SUFFIX]);
+        let files = retention::scan_dir_with(self.fs.as_ref(), &self.dir, &[STORE_SUFFIX]);
         let victims = retention::over_budget_lru(&files, self.budget_bytes, &[keep]);
-        retention::remove_all(&victims)
+        let outcome = retention::remove_all_with(self.fs.as_ref(), &victims);
+        self.sweep_errors
+            .fetch_add(outcome.errors as u64, Ordering::Relaxed);
+        outcome.removed
+    }
+
+    /// Publishes entry bytes at `path`: temp file + rename
+    /// (INV-STORE-ATOMIC) unless the [`Store::set_direct_writes`]
+    /// mutation gate is on.
+    fn write_entry(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        if self.direct_writes {
+            return self.fs.write(path, bytes);
+        }
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        // The pid suffix keeps concurrent daemons sharing one store from
+        // clobbering each other's in-flight temp files.
+        let tmp = path.with_file_name(format!("{file}.tmp.{}", std::process::id()));
+        fsio::write_atomic(self.fs.as_ref(), path, &tmp, bytes)
     }
 
     /// Inspects every `.adb` file in the store, decoding each under its
     /// own file name. Sorted by file name for stable CLI output.
     pub fn ls(&self) -> Vec<EntryInfo> {
-        let mut files = retention::scan_dir(&self.dir, &[STORE_SUFFIX]);
+        let mut files = retention::scan_dir_with(self.fs.as_ref(), &self.dir, &[STORE_SUFFIX]);
         files.sort_by(|a, b| a.path.cmp(&b.path));
         files
             .iter()
@@ -211,7 +265,7 @@ impl Store {
                     .map(|n| n.to_string_lossy().into_owned())
                     .unwrap_or_default();
                 let expected = parse_entry_name(&file);
-                let (schema_version, entries, status) = match std::fs::read(&f.path) {
+                let (schema_version, entries, status) = match self.fs.read(&f.path) {
                     Err(e) => (None, None, Err(DegradeReason::Io(e.to_string()))),
                     Ok(bytes) => {
                         let text = String::from_utf8_lossy(&bytes);
@@ -241,15 +295,16 @@ impl Store {
     pub fn prune(&self) -> usize {
         let mut removed = 0usize;
         for info in self.ls() {
-            if info.status.is_err() && std::fs::remove_file(self.dir.join(&info.file)).is_ok() {
+            if info.status.is_err() && self.fs.remove_file(&self.dir.join(&info.file)).is_ok() {
                 removed += 1;
             }
         }
-        if let Ok(entries) = std::fs::read_dir(&self.dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let Some(name) = name.to_str() else { continue };
-                if name.contains(".adb.tmp.") && std::fs::remove_file(entry.path()).is_ok() {
+        if let Ok(entries) = self.fs.scan_dir(&self.dir) {
+            for entry in entries {
+                let Some(name) = entry.path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                if name.contains(".adb.tmp.") && self.fs.remove_file(&entry.path).is_ok() {
                     removed += 1;
                 }
             }
@@ -274,26 +329,6 @@ pub fn parse_entry_name(name: &str) -> Option<(u64, u64)> {
         u64::from_str_radix(m, 16).ok()?,
         u64::from_str_radix(c, 16).ok()?,
     ))
-}
-
-/// Writes `bytes` to `path` via a process-unique temp file in the same
-/// directory plus `rename` (INV-STORE-ATOMIC). The pid suffix keeps
-/// concurrent daemons sharing one store from clobbering each other's
-/// in-flight temp files.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let file = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    let tmp = path.with_file_name(format!("{file}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, bytes)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e)
-        }
-    }
 }
 
 /// Serialises `db` into the two-line store format described in the

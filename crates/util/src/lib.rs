@@ -5,6 +5,7 @@
 //! perturbations from hashes rather than from any ambient entropy. This is
 //! what makes every experiment in the repository reproducible bit-for-bit.
 
+pub mod fsio;
 pub mod hash;
 pub mod json;
 pub mod lockorder;

@@ -9,8 +9,17 @@
 //!
 //! Everything is best-effort: an unreadable directory or a file that
 //! vanishes mid-scan (another daemon swept it first) is skipped, never
-//! an error. Retention is hygiene, not correctness.
+//! an error. Retention is hygiene, not correctness — but hygiene
+//! failures are no longer silent: [`remove_all_with`] counts removals
+//! that failed for any reason other than the file already being gone,
+//! and callers surface that count through the `retention_sweep_errors`
+//! counter and a `sweep_degraded` event (INV-CHAOS-SWEEP).
+//!
+//! All filesystem access goes through [`crate::fsio::Fs`] so the chaos
+//! engine can inject faults here; the suffix-less entry points delegate
+//! to the `_with` variants over [`RealFs`].
 
+use crate::fsio::{Fs, RealFs};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
 
@@ -32,26 +41,29 @@ pub struct FileMeta {
 /// list rather than an error — a concurrent sweeper may be removing
 /// entries while we walk.
 pub fn scan_dir(dir: &Path, suffixes: &[&str]) -> Vec<FileMeta> {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+    scan_dir_with(&RealFs, dir, suffixes)
+}
+
+/// [`scan_dir`] over an injectable filesystem.
+pub fn scan_dir_with(fs: &dyn Fs, dir: &Path, suffixes: &[&str]) -> Vec<FileMeta> {
+    let Ok(entries) = fs.scan_dir(dir) else {
         return Vec::new();
     };
     let mut out = Vec::new();
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for entry in entries {
+        let Some(name) = entry.path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         if !suffixes.iter().any(|s| name.ends_with(s)) {
             continue;
         }
-        let Ok(meta) = entry.metadata() else { continue };
-        if !meta.is_file() {
+        if !entry.is_file {
             continue;
         }
-        let modified = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
         out.push(FileMeta {
-            path,
-            modified,
-            len: meta.len(),
+            path: entry.path,
+            modified: entry.modified,
+            len: entry.len,
         });
     }
     out.sort_by(|a, b| a.modified.cmp(&b.modified).then(a.path.cmp(&b.path)));
@@ -96,13 +108,37 @@ pub fn over_budget_lru<'a>(
     victims
 }
 
+/// Outcome of a retention sweep: what was removed and what failed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Files actually removed.
+    pub removed: usize,
+    /// Removals that failed for a reason other than the file already
+    /// being gone. These feed the `retention_sweep_errors` counter and
+    /// a `sweep_degraded` event instead of being dropped on the floor
+    /// (INV-CHAOS-SWEEP).
+    pub errors: usize,
+}
+
 /// Removes every file in `victims`, returning how many removals
 /// succeeded. A file another daemon already removed is not counted.
 pub fn remove_all(victims: &[&FileMeta]) -> usize {
-    victims
-        .iter()
-        .filter(|f| std::fs::remove_file(&f.path).is_ok())
-        .count()
+    remove_all_with(&RealFs, victims).removed
+}
+
+/// [`remove_all`] over an injectable filesystem, with failed removals
+/// counted instead of swallowed. A `NotFound` (another daemon swept
+/// the file first) is neither a removal nor an error.
+pub fn remove_all_with(fs: &dyn Fs, victims: &[&FileMeta]) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
+    for f in victims {
+        match fs.remove_file(&f.path) {
+            Ok(()) => outcome.removed += 1,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => outcome.errors += 1,
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -190,6 +226,35 @@ mod tests {
         let _ = a;
         let removed = remove_all(&over_budget_lru(&files, 0, &[]));
         assert_eq!(removed, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_removals_are_counted_not_swallowed() {
+        use crate::fsio::{ChaosFs, FaultEvent, FaultKind, FaultSchedule};
+        let dir = tmpdir("sweep-errors");
+        touch(&dir, "a.ckpt", 1, Duration::ZERO);
+        touch(&dir, "b.ckpt", 1, Duration::ZERO);
+        let files = scan_dir(&dir, &[".ckpt"]);
+        let victims: Vec<&FileMeta> = files.iter().collect();
+        // First removal hits an injected EIO; the second succeeds.
+        let chaos = ChaosFs::new(&FaultSchedule {
+            events: vec![FaultEvent {
+                op: 0,
+                kind: FaultKind::Eio,
+            }],
+        });
+        let outcome = remove_all_with(&chaos, &victims);
+        assert_eq!(
+            outcome,
+            SweepOutcome {
+                removed: 1,
+                errors: 1
+            }
+        );
+        // A file already gone is neither a removal nor an error.
+        let outcome = remove_all_with(&crate::fsio::RealFs, &victims);
+        assert_eq!(outcome.errors, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -20,6 +20,9 @@
 //!   profile cache (wire contract in `docs/SERVER.md`).
 //! * [`store`] — versioned, fingerprint-addressed on-disk store of
 //!   profile databases; the cache's second tier (`docs/STORE.md`).
+//! * [`chaos`] — deterministic whole-system chaos engine: seeded fault
+//!   schedules, crash/restart daemon scenarios, standing oracles, and
+//!   a shrinking fault-schedule explorer (`docs/RELIABILITY.md`).
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 
 pub use aceso_audit as audit;
 pub use aceso_baselines as baselines;
+pub use aceso_chaos as chaos;
 pub use aceso_cluster as cluster;
 pub use aceso_config as config;
 pub use aceso_core as search;
@@ -86,8 +90,11 @@ usage: aceso [search] --model <name> [--gpus N] [--budget-secs S] [--stages P]
        aceso submit --addr HOST:PORT (--model <name> [--gpus N] [--stages P]
              [--zero] [--iterations I] [--budget-secs S] [--seed K]
              [--search-threads N] [--request-id ID] [--retries N]
-             [--plan-out FILE] [--metrics-out FILE] [--events-out FILE]
+             [--retry-deadline-secs S] [--plan-out FILE]
+             [--metrics-out FILE] [--events-out FILE]
              | --stats | --shutdown)
+       aceso chaos run --seed-range A..B [--mutate M] [--trace-out FILE]
+       aceso chaos replay FILE
        aceso obs-diff A.json B.json
 
 models: gpt3-{0.35b,1.3b,2.6b,6.7b,13b}, t5-{0.77b,3b,6b,11b,22b},
@@ -191,8 +198,27 @@ submit: send one search to a daemon and collect the streamed response
                     this search if it is interrupted and resubmitted
   --retries N       retry transient failures (busy, timeout, dropped
                     connection) up to N times with jittered backoff
+  --retry-deadline-secs S  total wall-clock budget across all retry
+                    attempts and both backoff clocks; once exceeded the
+                    client stops with a typed `retry-deadline` error
+                    (default: no deadline)
   --stats           print the daemon's server-level metric snapshot
   --shutdown        ask the daemon to drain in-flight work and exit
+
+chaos: run end-to-end daemon scenarios under seeded fault schedules —
+injected filesystem faults, network fault-proxy modes and worker panics
+— and check the standing oracles after every run (no torn store entry,
+clean `aceso store verify`, bit-identical responses, typed degrade
+events; docs/RELIABILITY.md). A violating schedule is shrunk to a
+minimal replayable JSON trace
+  --seed-range A..B   run one scenario per seed in [A, B) (required)
+  --mutate M        seed a bug injection for the mutation gate; the run
+                    must exit 1 with a shrunk trace (one of:
+                    store-direct-write)
+  --trace-out FILE  write the shrunk violating trace here (default:
+                    chaos-trace.json next to the store dir)
+  replay FILE       re-run one recorded trace and re-check the oracles;
+                    exits 1 if the violation reproduces
 
 obs-diff: print counter deltas and histogram shifts between two metric
 snapshots; exits 2 when the snapshots disagree on schema_version";

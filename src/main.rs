@@ -315,6 +315,7 @@ fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
     let mut metrics_out: Option<String> = None;
     let mut events_out: Option<String> = None;
     let mut retries = 0usize;
+    let mut retry_deadline: Option<std::time::Duration> = None;
     let mut stats = false;
     let mut do_shutdown = false;
     while let Some(flag) = it.next() {
@@ -361,6 +362,11 @@ fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
                 v.parse()
                     .map(|n| retries = n)
                     .map_err(|e| format!("--retries: {e}"))
+            }),
+            "--retry-deadline-secs" => value("--retry-deadline-secs").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|s| retry_deadline = Some(std::time::Duration::from_secs(s)))
+                    .map_err(|e| format!("--retry-deadline-secs: {e}"))
             }),
             "--plan-out" => value("--plan-out").map(|v| {
                 req.plan = true;
@@ -421,7 +427,7 @@ fn run_submit(mut it: impl Iterator<Item = String>) -> ! {
     }
 
     eprintln!("submitting {} to {addr}...", req.model);
-    let resp = match serve::submit_with_retries(&addr, &req, retries) {
+    let resp = match serve::submit_with_retries_deadline(&addr, &req, retries, retry_deadline) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -585,8 +591,12 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
 /// leaves the previous complete snapshot instead of a torn file.
 fn write_checkpoint(path: &str, ckpt: &SearchCheckpoint) -> std::io::Result<()> {
     let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, ckpt.to_json_string())?;
-    std::fs::rename(&tmp, path)
+    aceso::util::fsio::write_atomic(
+        &aceso::util::fsio::RealFs,
+        path.as_ref(),
+        tmp.as_ref(),
+        ckpt.to_json_string().as_bytes(),
+    )
 }
 
 /// Loads `--resume FILE`, degrading gracefully: a missing, corrupt,
@@ -683,6 +693,156 @@ fn run_checkpointed(
     }
 }
 
+/// Runs `aceso chaos (run|replay)` and exits: 0 when every scenario
+/// passed its standing oracles, 1 on an oracle violation (`run` also
+/// writes the shrunk replayable trace), 2 on bad usage.
+fn run_chaos(mut it: impl Iterator<Item = String>) -> ! {
+    let action = match it.next().as_deref() {
+        Some(a @ ("run" | "replay")) => a.to_string(),
+        Some("--help" | "-h") => {
+            eprintln!("{USAGE}");
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!("error: chaos needs an action (run | replay)\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        Some(other) => {
+            eprintln!("error: unknown chaos action `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut opts = aceso::chaos::ChaosOptions::in_temp("cli");
+    if action == "replay" {
+        let Some(file) = it.next() else {
+            eprintln!("error: chaos replay requires a trace file\n\n{USAGE}");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {file}: {e}");
+            std::process::exit(2);
+        });
+        let trace = aceso::chaos::Trace::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: {file} is not a chaos trace: {e}");
+            std::process::exit(2);
+        });
+        // A mutant trace replays with the mutation gate it was recorded
+        // under — the switch travels in the schedule, not the CLI.
+        let engine = aceso::chaos::Engine::new(opts.clone()).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let outcome = engine.run_schedule(&trace.schedule);
+        let _ = std::fs::remove_dir_all(&opts.root);
+        if outcome.violations.is_empty() {
+            println!(
+                "trace {file} (seed {}, {} scheduled faults): no oracle violation reproduced",
+                trace.schedule.seed,
+                trace.schedule.fault_count()
+            );
+            std::process::exit(0);
+        }
+        println!(
+            "trace {file} (seed {}, {} scheduled faults) reproduces {} violation(s):",
+            trace.schedule.seed,
+            trace.schedule.fault_count(),
+            outcome.violations.len()
+        );
+        for v in &outcome.violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    let mut seed_range: Option<(u64, u64)> = None;
+    let mut trace_out = "chaos-trace.json".to_string();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let parsed = match flag.as_str() {
+            "--seed-range" => value("--seed-range").and_then(|v| {
+                let parts: Vec<&str> = v.splitn(2, "..").collect();
+                match parts.as_slice() {
+                    [a, b] => match (a.parse::<u64>(), b.parse::<u64>()) {
+                        (Ok(a), Ok(b)) if a < b => {
+                            seed_range = Some((a, b));
+                            Ok(())
+                        }
+                        _ => Err(format!("--seed-range: `{v}` is not A..B with A < B")),
+                    },
+                    _ => Err(format!("--seed-range: `{v}` is not A..B")),
+                }
+            }),
+            "--mutate" => value("--mutate").and_then(|v| match v.as_str() {
+                "store-direct-write" => {
+                    opts.mutate_direct_writes = true;
+                    Ok(())
+                }
+                other => Err(format!(
+                    "--mutate: unknown mutation `{other}` (expected store-direct-write)"
+                )),
+            }),
+            "--trace-out" => value("--trace-out").map(|v| trace_out = v),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown chaos flag `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(msg) = parsed {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    let Some((first, last)) = seed_range else {
+        eprintln!("error: chaos run requires --seed-range A..B\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    let engine = aceso::chaos::Engine::new(opts.clone()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let report = engine.run_range(first, last);
+    let _ = std::fs::remove_dir_all(&opts.root);
+    let by_kind: Vec<String> = report
+        .report
+        .metrics()
+        .chaos_faults()
+        .iter()
+        .map(|(kind, n)| format!("{kind}={n}"))
+        .collect();
+    println!(
+        "chaos: {} scenario(s), {} fault(s) injected [{}]",
+        report.runs,
+        report.faults_injected,
+        by_kind.join(" ")
+    );
+    match report.failure {
+        None => {
+            println!("chaos: no oracle violations in seeds {first}..{last}");
+            std::process::exit(0);
+        }
+        Some(trace) => {
+            println!(
+                "chaos: seed {} violated {} oracle(s); shrunk to {} scheduled fault(s):",
+                trace.schedule.seed,
+                trace.violations.len(),
+                trace.schedule.fault_count()
+            );
+            for v in &trace.violations {
+                println!("  {v}");
+            }
+            if let Err(e) = std::fs::write(&trace_out, trace.to_json_string()) {
+                eprintln!("error: cannot write trace to {trace_out}: {e}");
+            } else {
+                println!("chaos: replayable trace written to {trace_out}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
@@ -705,6 +865,10 @@ fn main() {
         Some("obs-diff") => {
             argv.next();
             run_obs_diff(argv);
+        }
+        Some("chaos") => {
+            argv.next();
+            run_chaos(argv);
         }
         // `aceso search` is the explicit form of the default command.
         Some("search") => {

@@ -291,9 +291,83 @@ fn no_counter_is_silently_dead() {
     let store_report_b = run_store_daemon(u64::MAX, &["deepnet-12l"]);
     let _ = std::fs::remove_dir_all(&store_dir);
 
+    // Scenario 6: a store daemon whose filesystem refuses deletions —
+    // the v9 retention counter. With a 1-byte budget the second
+    // write-back must evict the first entry; the failing removal is
+    // counted (`retention_sweep_errors`) and surfaced as a typed
+    // `sweep_degraded` event instead of being silently swallowed.
+    #[derive(Debug)]
+    struct RemoveFailFs;
+    impl aceso::util::fsio::Fs for RemoveFailFs {
+        fn read(&self, path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+            aceso::util::fsio::RealFs.read(path)
+        }
+        fn write(&self, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+            aceso::util::fsio::RealFs.write(path, bytes)
+        }
+        fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> std::io::Result<()> {
+            aceso::util::fsio::RealFs.rename(from, to)
+        }
+        fn remove_file(&self, _path: &std::path::Path) -> std::io::Result<()> {
+            Err(std::io::Error::other("deletions refused"))
+        }
+        fn create_dir_all(&self, dir: &std::path::Path) -> std::io::Result<()> {
+            aceso::util::fsio::RealFs.create_dir_all(dir)
+        }
+        fn scan_dir(
+            &self,
+            dir: &std::path::Path,
+        ) -> std::io::Result<Vec<aceso::util::fsio::ScanEntry>> {
+            aceso::util::fsio::RealFs.scan_dir(dir)
+        }
+        fn sync(&self, path: &std::path::Path) -> std::io::Result<()> {
+            aceso::util::fsio::RealFs.sync(path)
+        }
+    }
+    let sweep_dir = std::env::temp_dir().join(format!("aceso-obs-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    let sweep_server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            store_dir: Some(sweep_dir.clone()),
+            store_budget_bytes: 1,
+            fs: std::sync::Arc::new(RemoveFailFs),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("binds an ephemeral port");
+    let sweep_addr = sweep_server.local_addr().to_string();
+    let sweep_handle = std::thread::spawn(move || sweep_server.run());
+    for model in ["deepnet-8l", "deepnet-12l"] {
+        let req = Request {
+            model: model.into(),
+            gpus: 2,
+            max_iterations: 2,
+            ..Request::default()
+        };
+        aceso::serve::submit(&sweep_addr, &req).expect("sweep-daemon submit");
+    }
+    aceso::serve::shutdown(&sweep_addr).expect("shutdown");
+    let sweep_report = sweep_handle.join().expect("sweep daemon thread");
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    assert!(
+        sweep_report.counter(Counter::RetentionSweepErrors) > 0,
+        "a refused eviction must be counted, not swallowed"
+    );
+    assert!(
+        sweep_report
+            .events()
+            .iter()
+            .any(|e| e.kind() == "sweep_degraded"),
+        "a refused eviction must surface as a typed sweep_degraded event"
+    );
+
     obs.absorb(rec);
     let served = |c: Counter| {
-        server_report.counter(c) + store_report_a.counter(c) + store_report_b.counter(c)
+        server_report.counter(c)
+            + store_report_a.counter(c)
+            + store_report_b.counter(c)
+            + sweep_report.counter(c)
     };
     for c in Counter::ALL {
         // Scheduling-dependent counters only move when the work-stealing
